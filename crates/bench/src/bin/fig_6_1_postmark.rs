@@ -1,0 +1,40 @@
+//! Figure 6.1 — disk performance using Postmark.
+//!
+//! Runs the figure's four Postmark configurations on stock Xen and on
+//! Xoar and prints transactions/second for each. The paper's claim:
+//! "disk throughput is more or less unchanged".
+
+use xoar_bench::{header, pct};
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_hypervisor::DomId;
+use xoar_sim::workloads::postmark::{self, PostmarkConfig};
+
+fn guest(p: &mut Platform) -> DomId {
+    let ts = p.services.toolstacks[0];
+    p.create_guest(ts, GuestConfig::evaluation_guest("postmark"))
+        .expect("guest creation")
+}
+
+fn main() {
+    header(
+        "Figure 6.1: Postmark (transactions/second)",
+        &["Config", "Dom0", "Xoar", "Delta"],
+    );
+    for (label, cfg) in PostmarkConfig::figure_6_1() {
+        let mut dom0 = Platform::stock_xen();
+        let g0 = guest(&mut dom0);
+        let r0 = postmark::run(&mut dom0, g0, cfg, 42);
+
+        let mut xoar = Platform::xoar(XoarConfig::default());
+        let g1 = guest(&mut xoar);
+        let r1 = postmark::run(&mut xoar, g1, cfg, 42);
+
+        println!(
+            "{label:<13} | {:>7.0} | {:>7.0} | {}",
+            r0.ops_per_sec,
+            r1.ops_per_sec,
+            pct(r1.ops_per_sec, r0.ops_per_sec)
+        );
+    }
+    println!("\nPaper: \"Overall, disk throughput is more or less unchanged.\"");
+}

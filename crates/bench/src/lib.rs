@@ -1,0 +1,52 @@
+//! # xoar-bench
+//!
+//! Benchmark harnesses reproducing every table and figure of the Xoar
+//! evaluation (Chapter 6). Each binary prints the same rows/series the
+//! paper reports, next to the paper's published values where the thesis
+//! states them; `EXPERIMENTS.md` records the comparison.
+//!
+//! Run any harness with `cargo run -p xoar-bench --release --bin <name>`:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table_6_1_memory` | Table 6.1 — shard memory consumption |
+//! | `table_6_2_boot` | Table 6.2 — boot-time comparison |
+//! | `fig_6_1_postmark` | Figure 6.1 — Postmark disk performance |
+//! | `fig_6_2_wget` | Figure 6.2 — network/combined throughput |
+//! | `fig_6_3_netback_restart` | Figure 6.3 — restarting NetBack sweep |
+//! | `fig_6_4_kernel_build` | Figure 6.4 — kernel build local/NFS |
+//! | `fig_6_5_apache` | Figure 6.5 — ApacheBench with restarts |
+//! | `security_eval` | §2.2.1 census, §6.2.1 containment, §6.2 TCB, §3.3 temporal surface |
+//! | `extensions` | density, migration, restart staggering, hypervisor split |
+
+#![warn(missing_docs)]
+
+/// Prints a table header followed by a separator row.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join(" | "));
+    println!(
+        "{}",
+        columns
+            .iter()
+            .map(|c| "-".repeat(c.len()))
+            .collect::<Vec<_>>()
+            .join("-|-")
+    );
+}
+
+/// Formats a relative delta as a signed percentage.
+pub fn pct(new: f64, baseline: f64) -> String {
+    format!("{:+.1}%", (new / baseline - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(110.0, 100.0), "+10.0%");
+        assert_eq!(pct(92.0, 100.0), "-8.0%");
+    }
+}

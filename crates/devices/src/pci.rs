@@ -1,0 +1,325 @@
+//! The PCI bus and PCIBack (§5.3).
+//!
+//! The PCI *configuration space* is a shared bus resource: even when
+//! devices themselves are passed through to driver domains, a single
+//! component must multiplex access to the configuration registers used
+//! during device initialisation. In Xoar that component is **PCIBack**,
+//! "the closest analogy that Xoar has to Xen's Dom0": it initialises the
+//! hardware, enumerates the bus, requests driver-domain creation for each
+//! controller found (via udev-style rules), and proxies configuration
+//! accesses.
+//!
+//! Crucially, "once steady state is achieved, we can remove PCIBack from
+//! the TCB entirely, either by de-privileging or destroying it" — modelled
+//! by [`PciBack::seal`].
+
+use std::collections::HashMap;
+
+use xoar_hypervisor::{DomId, PciAddress};
+
+/// The class of a PCI device, used by the udev-style boot rules to decide
+/// which driver domain to spawn (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PciClass {
+    /// Ethernet controller.
+    Network,
+    /// SATA/IDE storage controller.
+    Storage,
+    /// Anything else (bridges, USB, …).
+    Other,
+}
+
+/// A device on the bus with its configuration space.
+#[derive(Debug, Clone)]
+pub struct PciDevice {
+    /// Bus address.
+    pub addr: PciAddress,
+    /// Vendor ID (config offset 0x00).
+    pub vendor: u16,
+    /// Device ID (config offset 0x02).
+    pub device: u16,
+    /// Device class.
+    pub class: PciClass,
+    /// Config registers beyond the identity: offset → value.
+    config: HashMap<u16, u32>,
+    /// Domain the device is passed through to, if any.
+    pub assigned_to: Option<DomId>,
+}
+
+impl PciDevice {
+    /// Creates a device with an empty config space.
+    pub fn new(addr: PciAddress, vendor: u16, device: u16, class: PciClass) -> Self {
+        PciDevice {
+            addr,
+            vendor,
+            device,
+            class,
+            config: HashMap::new(),
+            assigned_to: None,
+        }
+    }
+}
+
+/// Errors from configuration-space access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PciError {
+    /// No device at that address.
+    NoDevice(PciAddress),
+    /// The caller is not allowed to touch that device's config space.
+    Denied {
+        /// Requesting domain.
+        caller: DomId,
+        /// Target device.
+        addr: PciAddress,
+    },
+    /// PCIBack has been sealed/destroyed; config space is frozen.
+    Sealed,
+}
+
+impl std::fmt::Display for PciError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PciError::NoDevice(a) => write!(f, "no PCI device at {a}"),
+            PciError::Denied { caller, addr } => {
+                write!(f, "{caller} denied config access to {addr}")
+            }
+            PciError::Sealed => write!(f, "PCIBack sealed: no further config access"),
+        }
+    }
+}
+
+impl std::error::Error for PciError {}
+
+/// The physical bus: the set of devices the host firmware reports.
+#[derive(Debug, Default)]
+pub struct PciBus {
+    devices: Vec<PciDevice>,
+}
+
+impl PciBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's testbed: one Tigon 3 NIC and one Intel SATA controller.
+    pub fn testbed() -> Self {
+        let mut bus = Self::new();
+        bus.add(PciDevice::new(
+            PciAddress::new(0, 2, 0),
+            0x14e4,
+            0x1659,
+            PciClass::Network,
+        ));
+        bus.add(PciDevice::new(
+            PciAddress::new(0, 3, 0),
+            0x8086,
+            0x3a22,
+            PciClass::Storage,
+        ));
+        bus
+    }
+
+    /// Adds a device.
+    pub fn add(&mut self, dev: PciDevice) {
+        self.devices.push(dev);
+    }
+
+    /// Enumerates all device addresses (boot-time bus walk).
+    pub fn enumerate(&self) -> Vec<PciAddress> {
+        self.devices.iter().map(|d| d.addr).collect()
+    }
+
+    /// Devices of a given class.
+    pub fn of_class(&self, class: PciClass) -> Vec<PciAddress> {
+        self.devices
+            .iter()
+            .filter(|d| d.class == class)
+            .map(|d| d.addr)
+            .collect()
+    }
+
+    fn find_mut(&mut self, addr: PciAddress) -> Option<&mut PciDevice> {
+        self.devices.iter_mut().find(|d| d.addr == addr)
+    }
+
+    /// Looks up a device.
+    pub fn find(&self, addr: PciAddress) -> Option<&PciDevice> {
+        self.devices.iter().find(|d| d.addr == addr)
+    }
+}
+
+/// PCIBack: the shard multiplexing configuration-space access.
+#[derive(Debug)]
+pub struct PciBack {
+    /// The hosting domain.
+    pub dom: DomId,
+    /// The physical bus.
+    pub bus: PciBus,
+    sealed: bool,
+    config_ops: u64,
+}
+
+impl PciBack {
+    /// Creates PCIBack over a bus.
+    pub fn new(dom: DomId, bus: PciBus) -> Self {
+        PciBack {
+            dom,
+            bus,
+            sealed: false,
+            config_ops: 0,
+        }
+    }
+
+    /// Boot-time: records a passthrough assignment (the hypervisor-side
+    /// `DomctlAssignDevice` is performed by the Builder; this mirrors it
+    /// on the bus model).
+    pub fn assign(&mut self, addr: PciAddress, to: DomId) -> Result<(), PciError> {
+        if self.sealed {
+            return Err(PciError::Sealed);
+        }
+        let dev = self.bus.find_mut(addr).ok_or(PciError::NoDevice(addr))?;
+        dev.assigned_to = Some(to);
+        Ok(())
+    }
+
+    /// A config-space read proxied for `caller`.
+    ///
+    /// Only the domain a device is assigned to (or PCIBack itself) may
+    /// touch its configuration registers.
+    pub fn config_read(
+        &mut self,
+        caller: DomId,
+        addr: PciAddress,
+        offset: u16,
+    ) -> Result<u32, PciError> {
+        if self.sealed {
+            return Err(PciError::Sealed);
+        }
+        let dom = self.dom;
+        let dev = self.bus.find_mut(addr).ok_or(PciError::NoDevice(addr))?;
+        if caller != dom && dev.assigned_to != Some(caller) {
+            return Err(PciError::Denied { caller, addr });
+        }
+        self.config_ops += 1;
+        Ok(match offset {
+            0x00 => dev.vendor as u32,
+            0x02 => dev.device as u32,
+            _ => dev.config.get(&offset).copied().unwrap_or(0),
+        })
+    }
+
+    /// A config-space write proxied for `caller`.
+    pub fn config_write(
+        &mut self,
+        caller: DomId,
+        addr: PciAddress,
+        offset: u16,
+        value: u32,
+    ) -> Result<(), PciError> {
+        if self.sealed {
+            return Err(PciError::Sealed);
+        }
+        let dom = self.dom;
+        let dev = self.bus.find_mut(addr).ok_or(PciError::NoDevice(addr))?;
+        if caller != dom && dev.assigned_to != Some(caller) {
+            return Err(PciError::Denied { caller, addr });
+        }
+        self.config_ops += 1;
+        dev.config.insert(offset, value);
+        Ok(())
+    }
+
+    /// Seals PCIBack once steady state is reached (§5.3): configuration
+    /// space is frozen and the component can be destroyed, removing it
+    /// from the TCB. Returns the number of config operations it served.
+    pub fn seal(&mut self) -> u64 {
+        self.sealed = true;
+        self.config_ops
+    }
+
+    /// Whether PCIBack has been sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> PciAddress {
+        PciAddress::new(0, 2, 0)
+    }
+
+    fn sata() -> PciAddress {
+        PciAddress::new(0, 3, 0)
+    }
+
+    #[test]
+    fn testbed_enumeration() {
+        let bus = PciBus::testbed();
+        assert_eq!(bus.enumerate().len(), 2);
+        assert_eq!(bus.of_class(PciClass::Network), vec![nic()]);
+        assert_eq!(bus.of_class(PciClass::Storage), vec![sata()]);
+        assert_eq!(bus.find(nic()).unwrap().vendor, 0x14e4);
+    }
+
+    #[test]
+    fn config_access_gated_on_assignment() {
+        let mut pb = PciBack::new(DomId(1), PciBus::testbed());
+        let netback = DomId(3);
+        // Unassigned: only PCIBack itself may read.
+        assert_eq!(pb.config_read(DomId(1), nic(), 0x00).unwrap(), 0x14e4);
+        assert!(matches!(
+            pb.config_read(netback, nic(), 0x00),
+            Err(PciError::Denied { .. })
+        ));
+        pb.assign(nic(), netback).unwrap();
+        assert_eq!(pb.config_read(netback, nic(), 0x02).unwrap(), 0x1659);
+        // But not the other device.
+        assert!(matches!(
+            pb.config_read(netback, sata(), 0x00),
+            Err(PciError::Denied { .. })
+        ));
+    }
+
+    #[test]
+    fn config_write_round_trip() {
+        let mut pb = PciBack::new(DomId(1), PciBus::testbed());
+        pb.assign(nic(), DomId(3)).unwrap();
+        pb.config_write(DomId(3), nic(), 0x10, 0xfebc_0000).unwrap();
+        assert_eq!(pb.config_read(DomId(3), nic(), 0x10).unwrap(), 0xfebc_0000);
+    }
+
+    #[test]
+    fn missing_device_reported() {
+        let mut pb = PciBack::new(DomId(1), PciBus::testbed());
+        let ghost = PciAddress::new(0, 9, 9);
+        assert!(matches!(
+            pb.config_read(DomId(1), ghost, 0),
+            Err(PciError::NoDevice(_))
+        ));
+        assert!(matches!(
+            pb.assign(ghost, DomId(3)),
+            Err(PciError::NoDevice(_))
+        ));
+    }
+
+    #[test]
+    fn sealing_freezes_config_space() {
+        let mut pb = PciBack::new(DomId(1), PciBus::testbed());
+        pb.assign(nic(), DomId(3)).unwrap();
+        pb.config_read(DomId(3), nic(), 0x00).unwrap();
+        let ops = pb.seal();
+        assert_eq!(ops, 1);
+        assert!(pb.is_sealed());
+        // "there is no further communication between the PCI split driver
+        // frontends and backends under normal operating conditions".
+        assert!(matches!(
+            pb.config_read(DomId(3), nic(), 0x00),
+            Err(PciError::Sealed)
+        ));
+        assert!(matches!(pb.assign(sata(), DomId(4)), Err(PciError::Sealed)));
+    }
+}

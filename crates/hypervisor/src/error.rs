@@ -1,0 +1,184 @@
+//! Error types for hypervisor operations.
+//!
+//! Every fallible hypercall returns [`HvError`] on failure, mirroring the
+//! negative errno convention of the real Xen hypercall ABI but in idiomatic
+//! Rust form.
+
+use core::fmt;
+
+use crate::domain::DomId;
+
+/// Errors returned by hypervisor operations.
+///
+/// The variants mirror the classes of failure Xen reports through negative
+/// errno values, with extra payload where it aids diagnosis (for example the
+/// offending [`DomId`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvError {
+    /// The referenced domain does not exist.
+    NoSuchDomain(DomId),
+    /// The referenced domain exists but is in the wrong lifecycle state.
+    InvalidDomainState {
+        /// Domain the operation targeted.
+        dom: DomId,
+        /// Human-readable description of the expected state.
+        expected: &'static str,
+    },
+    /// The caller lacks the privilege required for the operation.
+    ///
+    /// This is the central error of the Xoar security model: it is returned
+    /// whenever a hypercall is not on the caller's whitelist, when a
+    /// non-shard attempts shard-only functionality, or when a toolstack
+    /// manages a VM that was not delegated to it.
+    PermissionDenied {
+        /// Domain that issued the request.
+        caller: DomId,
+        /// Description of the privilege that was missing.
+        privilege: String,
+    },
+    /// A memory-related failure: out of frames, bad frame number, etc.
+    Memory(MemError),
+    /// A grant-table failure.
+    Grant(GrantError),
+    /// An event-channel failure.
+    Event(EventError),
+    /// The hypercall is not recognised or not implemented.
+    BadHypercall(&'static str),
+    /// An argument was structurally invalid.
+    InvalidArgument(String),
+    /// A resource limit (domains, ports, grants) was exhausted.
+    LimitExceeded(&'static str),
+    /// Snapshot/rollback subsystem failure.
+    Snapshot(String),
+    /// The target device or resource is already assigned elsewhere.
+    AlreadyAssigned(String),
+}
+
+/// Memory subsystem errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No free machine frames remain.
+    OutOfFrames,
+    /// The machine frame number is out of range or unallocated.
+    BadMfn(u64),
+    /// The pseudo-physical frame number is not mapped for the domain.
+    BadPfn(u64),
+    /// The frame is owned by a different domain.
+    NotOwner {
+        /// Frame in question.
+        mfn: u64,
+        /// Actual owner.
+        owner: DomId,
+    },
+    /// The frame is still mapped or granted and cannot be freed.
+    FrameBusy(u64),
+}
+
+/// Grant-table errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantError {
+    /// The grant reference is out of range for the granting domain.
+    BadRef(u32),
+    /// The grant entry is not active / not granted to the caller.
+    NotGranted,
+    /// The entry is already in use and cannot be modified.
+    InUse,
+    /// The grantee attempted an access mode the grant does not permit.
+    AccessDenied,
+    /// The grant table is full.
+    TableFull,
+    /// Unmap of a grant that was never mapped by the caller.
+    NotMapped,
+}
+
+/// Event-channel errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventError {
+    /// The port number is invalid or closed.
+    BadPort(u32),
+    /// The port is already bound.
+    AlreadyBound(u32),
+    /// No free ports remain for the domain.
+    NoFreePorts,
+    /// The remote end refused or does not exist.
+    BadRemote,
+    /// Binding two ends that do not match (wrong domain pair).
+    BindMismatch,
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::NoSuchDomain(d) => write!(f, "no such domain: {d}"),
+            HvError::InvalidDomainState { dom, expected } => {
+                write!(f, "domain {dom} in invalid state (expected {expected})")
+            }
+            HvError::PermissionDenied { caller, privilege } => {
+                write!(f, "permission denied for {caller}: requires {privilege}")
+            }
+            HvError::Memory(e) => write!(f, "memory error: {e:?}"),
+            HvError::Grant(e) => write!(f, "grant error: {e:?}"),
+            HvError::Event(e) => write!(f, "event channel error: {e:?}"),
+            HvError::BadHypercall(name) => write!(f, "bad hypercall: {name}"),
+            HvError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            HvError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            HvError::Snapshot(s) => write!(f, "snapshot error: {s}"),
+            HvError::AlreadyAssigned(s) => write!(f, "already assigned: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}
+
+impl From<MemError> for HvError {
+    fn from(e: MemError) -> Self {
+        HvError::Memory(e)
+    }
+}
+
+impl From<GrantError> for HvError {
+    fn from(e: GrantError) -> Self {
+        HvError::Grant(e)
+    }
+}
+
+impl From<EventError> for HvError {
+    fn from(e: EventError) -> Self {
+        HvError::Event(e)
+    }
+}
+
+/// Convenient result alias for hypervisor operations.
+pub type HvResult<T> = Result<T, HvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_domain() {
+        let e = HvError::NoSuchDomain(DomId(7));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn display_permission_denied_names_privilege() {
+        let e = HvError::PermissionDenied {
+            caller: DomId(3),
+            privilege: "domctl.create".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("dom3"));
+        assert!(s.contains("domctl.create"));
+    }
+
+    #[test]
+    fn sub_errors_convert() {
+        let e: HvError = MemError::OutOfFrames.into();
+        assert!(matches!(e, HvError::Memory(MemError::OutOfFrames)));
+        let e: HvError = GrantError::TableFull.into();
+        assert!(matches!(e, HvError::Grant(GrantError::TableFull)));
+        let e: HvError = EventError::NoFreePorts.into();
+        assert!(matches!(e, HvError::Event(EventError::NoFreePorts)));
+    }
+}

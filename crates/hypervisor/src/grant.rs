@@ -1,0 +1,449 @@
+//! Grant tables: page-granularity, capability-style memory sharing (§4.3).
+//!
+//! A domain exports its own pages through its *grant table*, an access
+//! control list maintained by the hypervisor. Grant *references* act as
+//! capabilities: the granting domain passes a [`GrantRef`] to a peer out of
+//! band (normally through XenStore), and the peer's use of it is audited
+//! against the table by the hypervisor on every map.
+//!
+//! Grant tables are the non-privileged alternative to blanket foreign
+//! mapping, and the mechanism Xoar uses (§5.6) to deprivilege XenStore and
+//! the Console Manager.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::DomId;
+use crate::error::{GrantError, HvResult};
+use crate::memory::{Mfn, Pfn};
+
+/// A grant reference: an index into the granting domain's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GrantRef(pub u32);
+
+/// Access mode carried by a grant entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrantAccess {
+    /// Grantee may only read the page.
+    ReadOnly,
+    /// Grantee may read and write the page.
+    ReadWrite,
+    /// Ownership of the page is offered to the grantee (page flipping).
+    Transfer,
+}
+
+/// One entry in a grant table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantEntry {
+    /// The domain allowed to map this entry.
+    pub grantee: DomId,
+    /// The granting domain's frame, both as PFN and resolved MFN.
+    pub pfn: Pfn,
+    /// Resolved machine frame at grant time.
+    pub mfn: Mfn,
+    /// Permitted access mode.
+    pub access: GrantAccess,
+    /// Number of active mappings through this entry.
+    pub map_count: u32,
+}
+
+/// A single domain's grant table.
+#[derive(Debug, Default)]
+pub struct GrantTable {
+    entries: HashMap<u32, GrantEntry>,
+    next_ref: u32,
+    capacity: u32,
+}
+
+/// Default maximum number of grant entries per domain (matches Xen's
+/// default of 32 frames of 512 v1 entries = 16384, scaled down for the
+/// model).
+pub const DEFAULT_GRANT_CAPACITY: u32 = 4096;
+
+impl GrantTable {
+    /// Creates an empty table with the default capacity.
+    pub fn new() -> Self {
+        GrantTable {
+            entries: HashMap::new(),
+            next_ref: 0,
+            capacity: DEFAULT_GRANT_CAPACITY,
+        }
+    }
+
+    /// Creates a table with an explicit capacity (tests, quota experiments).
+    pub fn with_capacity(capacity: u32) -> Self {
+        GrantTable {
+            entries: HashMap::new(),
+            next_ref: 0,
+            capacity,
+        }
+    }
+
+    /// Installs a new entry granting `grantee` access to (`pfn`, `mfn`).
+    pub fn grant(
+        &mut self,
+        grantee: DomId,
+        pfn: Pfn,
+        mfn: Mfn,
+        access: GrantAccess,
+    ) -> HvResult<GrantRef> {
+        if self.entries.len() as u32 >= self.capacity {
+            return Err(GrantError::TableFull.into());
+        }
+        let gref = GrantRef(self.next_ref);
+        self.next_ref += 1;
+        self.entries.insert(
+            gref.0,
+            GrantEntry {
+                grantee,
+                pfn,
+                mfn,
+                access,
+                map_count: 0,
+            },
+        );
+        Ok(gref)
+    }
+
+    /// Validates a map attempt by `caller` and records the mapping.
+    ///
+    /// This is the audit point the paper describes: "grant references act
+    /// as capabilities and are passed to other VMs, whose use of them is
+    /// audited against the grant table by the hypervisor".
+    pub fn map(&mut self, caller: DomId, gref: GrantRef) -> HvResult<(Mfn, GrantAccess)> {
+        let entry = self
+            .entries
+            .get_mut(&gref.0)
+            .ok_or(GrantError::BadRef(gref.0))?;
+        if entry.grantee != caller {
+            return Err(GrantError::AccessDenied.into());
+        }
+        if entry.access == GrantAccess::Transfer {
+            // Transfer grants are accepted, not mapped.
+            return Err(GrantError::NotGranted.into());
+        }
+        entry.map_count += 1;
+        Ok((entry.mfn, entry.access))
+    }
+
+    /// Releases one mapping by `caller`.
+    pub fn unmap(&mut self, caller: DomId, gref: GrantRef) -> HvResult<Mfn> {
+        let entry = self
+            .entries
+            .get_mut(&gref.0)
+            .ok_or(GrantError::BadRef(gref.0))?;
+        if entry.grantee != caller {
+            return Err(GrantError::AccessDenied.into());
+        }
+        if entry.map_count == 0 {
+            return Err(GrantError::NotMapped.into());
+        }
+        entry.map_count -= 1;
+        Ok(entry.mfn)
+    }
+
+    /// Installs a *transfer* grant: an offer to give the page away
+    /// entirely rather than share it (the mechanism behind classic
+    /// netfront/netback page-flipping). The grantee accepts with
+    /// [`GrantTable::accept_transfer`], after which the entry is spent.
+    pub fn grant_transfer(&mut self, grantee: DomId, pfn: Pfn, mfn: Mfn) -> HvResult<GrantRef> {
+        if self.entries.len() as u32 >= self.capacity {
+            return Err(GrantError::TableFull.into());
+        }
+        let gref = GrantRef(self.next_ref);
+        self.next_ref += 1;
+        self.entries.insert(
+            gref.0,
+            GrantEntry {
+                grantee,
+                pfn,
+                mfn,
+                access: GrantAccess::Transfer,
+                map_count: 0,
+            },
+        );
+        Ok(gref)
+    }
+
+    /// Accepts a transfer grant, consuming the entry and yielding the
+    /// transferred frame. The caller (the hypervisor) is responsible for
+    /// re-pointing page ownership.
+    pub fn accept_transfer(&mut self, caller: DomId, gref: GrantRef) -> HvResult<(Pfn, Mfn)> {
+        let entry = self
+            .entries
+            .get(&gref.0)
+            .ok_or(GrantError::BadRef(gref.0))?;
+        if entry.grantee != caller {
+            return Err(GrantError::AccessDenied.into());
+        }
+        if entry.access != GrantAccess::Transfer {
+            return Err(GrantError::NotGranted.into());
+        }
+        let entry = self.entries.remove(&gref.0).expect("checked above");
+        Ok((entry.pfn, entry.mfn))
+    }
+
+    /// Revokes an entry. Fails with [`GrantError::InUse`] while mapped.
+    pub fn end_access(&mut self, gref: GrantRef) -> HvResult<()> {
+        let entry = self
+            .entries
+            .get(&gref.0)
+            .ok_or(GrantError::BadRef(gref.0))?;
+        if entry.map_count > 0 {
+            return Err(GrantError::InUse.into());
+        }
+        self.entries.remove(&gref.0);
+        Ok(())
+    }
+
+    /// Looks up an entry without mapping it.
+    pub fn entry(&self, gref: GrantRef) -> Option<&GrantEntry> {
+        self.entries.get(&gref.0)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total active mappings across all entries.
+    pub fn active_mappings(&self) -> u32 {
+        self.entries.values().map(|e| e.map_count).sum()
+    }
+
+    /// Entries granted to a specific domain (for audit).
+    pub fn granted_to(&self, grantee: DomId) -> Vec<(GrantRef, &GrantEntry)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.grantee == grantee)
+            .map(|(&r, e)| (GrantRef(r), e))
+            .collect();
+        v.sort_by_key(|(r, _)| r.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::HvError;
+
+    fn table() -> GrantTable {
+        GrantTable::new()
+    }
+
+    #[test]
+    fn grant_and_map_round_trip() {
+        let mut t = table();
+        let gref = t
+            .grant(DomId(2), Pfn(3), Mfn(0x100), GrantAccess::ReadWrite)
+            .unwrap();
+        let (mfn, access) = t.map(DomId(2), gref).unwrap();
+        assert_eq!(mfn, Mfn(0x100));
+        assert_eq!(access, GrantAccess::ReadWrite);
+        assert_eq!(t.active_mappings(), 1);
+    }
+
+    #[test]
+    fn map_by_wrong_domain_denied() {
+        let mut t = table();
+        let gref = t
+            .grant(DomId(2), Pfn(0), Mfn(0x100), GrantAccess::ReadOnly)
+            .unwrap();
+        let err = t.map(DomId(3), gref).unwrap_err();
+        assert!(matches!(err, HvError::Grant(GrantError::AccessDenied)));
+    }
+
+    #[test]
+    fn map_bad_ref_rejected() {
+        let mut t = table();
+        assert!(matches!(
+            t.map(DomId(2), GrantRef(42)).unwrap_err(),
+            HvError::Grant(GrantError::BadRef(42))
+        ));
+    }
+
+    #[test]
+    fn unmap_decrements_and_requires_mapping() {
+        let mut t = table();
+        let gref = t
+            .grant(DomId(2), Pfn(0), Mfn(0x1), GrantAccess::ReadOnly)
+            .unwrap();
+        assert!(matches!(
+            t.unmap(DomId(2), gref).unwrap_err(),
+            HvError::Grant(GrantError::NotMapped)
+        ));
+        t.map(DomId(2), gref).unwrap();
+        t.unmap(DomId(2), gref).unwrap();
+        assert_eq!(t.active_mappings(), 0);
+    }
+
+    #[test]
+    fn end_access_blocked_while_mapped() {
+        let mut t = table();
+        let gref = t
+            .grant(DomId(2), Pfn(0), Mfn(0x1), GrantAccess::ReadWrite)
+            .unwrap();
+        t.map(DomId(2), gref).unwrap();
+        assert!(matches!(
+            t.end_access(gref).unwrap_err(),
+            HvError::Grant(GrantError::InUse)
+        ));
+        t.unmap(DomId(2), gref).unwrap();
+        t.end_access(gref).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = GrantTable::with_capacity(2);
+        t.grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
+            .unwrap();
+        t.grant(DomId(2), Pfn(1), Mfn(2), GrantAccess::ReadOnly)
+            .unwrap();
+        assert!(matches!(
+            t.grant(DomId(2), Pfn(2), Mfn(3), GrantAccess::ReadOnly)
+                .unwrap_err(),
+            HvError::Grant(GrantError::TableFull)
+        ));
+    }
+
+    #[test]
+    fn refs_are_not_reused() {
+        let mut t = table();
+        let a = t
+            .grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
+            .unwrap();
+        t.end_access(a).unwrap();
+        let b = t
+            .grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
+            .unwrap();
+        assert_ne!(a, b, "grant refs must not be recycled immediately");
+    }
+
+    #[test]
+    fn granted_to_filters_by_grantee() {
+        let mut t = table();
+        t.grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
+            .unwrap();
+        t.grant(DomId(3), Pfn(1), Mfn(2), GrantAccess::ReadOnly)
+            .unwrap();
+        t.grant(DomId(2), Pfn(2), Mfn(3), GrantAccess::ReadWrite)
+            .unwrap();
+        assert_eq!(t.granted_to(DomId(2)).len(), 2);
+        assert_eq!(t.granted_to(DomId(3)).len(), 1);
+        assert_eq!(t.granted_to(DomId(4)).len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod transfer_tests {
+    use super::*;
+    use crate::error::HvError;
+
+    #[test]
+    fn transfer_round_trip() {
+        let mut t = GrantTable::new();
+        let gref = t.grant_transfer(DomId(2), Pfn(5), Mfn(0x77)).unwrap();
+        let (pfn, mfn) = t.accept_transfer(DomId(2), gref).unwrap();
+        assert_eq!(pfn, Pfn(5));
+        assert_eq!(mfn, Mfn(0x77));
+        // Spent: cannot be accepted twice.
+        assert!(matches!(
+            t.accept_transfer(DomId(2), gref).unwrap_err(),
+            HvError::Grant(GrantError::BadRef(_))
+        ));
+    }
+
+    #[test]
+    fn transfer_grant_cannot_be_mapped() {
+        let mut t = GrantTable::new();
+        let gref = t.grant_transfer(DomId(2), Pfn(0), Mfn(1)).unwrap();
+        assert!(matches!(
+            t.map(DomId(2), gref).unwrap_err(),
+            HvError::Grant(GrantError::NotGranted)
+        ));
+    }
+
+    #[test]
+    fn access_grant_cannot_be_accepted() {
+        let mut t = GrantTable::new();
+        let gref = t
+            .grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadWrite)
+            .unwrap();
+        assert!(matches!(
+            t.accept_transfer(DomId(2), gref).unwrap_err(),
+            HvError::Grant(GrantError::NotGranted)
+        ));
+        // The entry survives the failed acceptance.
+        assert!(t.entry(gref).is_some());
+    }
+
+    #[test]
+    fn only_named_grantee_accepts() {
+        let mut t = GrantTable::new();
+        let gref = t.grant_transfer(DomId(2), Pfn(0), Mfn(1)).unwrap();
+        assert!(matches!(
+            t.accept_transfer(DomId(3), gref).unwrap_err(),
+            HvError::Grant(GrantError::AccessDenied)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Mapping then unmapping any number of times leaves the table
+        /// with zero active mappings, and end_access then succeeds.
+        #[test]
+        fn map_unmap_balanced(n in 1usize..50) {
+            let mut t = GrantTable::new();
+            let gref = t.grant(DomId(2), Pfn(0), Mfn(7), GrantAccess::ReadWrite).unwrap();
+            for _ in 0..n {
+                t.map(DomId(2), gref).unwrap();
+            }
+            for _ in 0..n {
+                t.unmap(DomId(2), gref).unwrap();
+            }
+            prop_assert_eq!(t.active_mappings(), 0);
+            prop_assert!(t.end_access(gref).is_ok());
+        }
+
+        /// No sequence of grants ever exceeds the configured capacity.
+        #[test]
+        fn capacity_invariant(cap in 1u32..64, attempts in 1usize..200) {
+            let mut t = GrantTable::with_capacity(cap);
+            let mut ok = 0usize;
+            for i in 0..attempts {
+                if t.grant(DomId(2), Pfn(i as u64), Mfn(i as u64), GrantAccess::ReadOnly).is_ok() {
+                    ok += 1;
+                }
+            }
+            prop_assert!(ok as u32 <= cap);
+            prop_assert!(t.len() as u32 <= cap);
+        }
+
+        /// A grantee other than the one named in the entry can never map it.
+        #[test]
+        fn only_grantee_maps(grantee in 1u32..10, caller in 1u32..10) {
+            let mut t = GrantTable::new();
+            let gref = t.grant(DomId(grantee), Pfn(0), Mfn(1), GrantAccess::ReadOnly).unwrap();
+            let res = t.map(DomId(caller), gref);
+            if caller == grantee {
+                prop_assert!(res.is_ok());
+            } else {
+                prop_assert!(res.is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,1288 @@
+//! The hypervisor proper: domain table, dispatch, and access control.
+//!
+//! [`Hypervisor`] owns every mechanism crate-side — machine memory, grant
+//! tables, event channels, the scheduler, and snapshot images — and exposes
+//! exactly one entry point for guest-initiated action:
+//! [`Hypervisor::hypercall`]. All access-control decisions are made there,
+//! which is what lets Xoar express both platforms with one mechanism:
+//!
+//! * **stock Xen**: Dom0 is created with [`PrivilegeSet::dom0`] (every
+//!   privileged call whitelisted, blanket foreign mapping);
+//! * **Xoar**: each shard is created with exactly the calls it needs
+//!   (Figure 3.1's `permit_hypercall`), the Builder alone may map foreign
+//!   memory, and management calls are audited against the parent-toolstack
+//!   flag (§5.6).
+//!
+//! Inter-VM communication policy (§5.6) is enforced on the grant and
+//! event-channel paths: a guest may only establish IVC with a shard that
+//! has been *delegated* to it; guest↔guest channels are refused.
+
+use std::collections::HashMap;
+
+use crate::domain::{DomId, Domain, DomainRole, DomainState};
+use crate::error::{HvError, HvResult};
+use crate::event::{EventChannels, VirqKind};
+use crate::grant::{GrantAccess, GrantRef, GrantTable};
+use crate::hypercall::{Hypercall, HypercallId, HypercallRet};
+use crate::memory::{MemoryManager, Pfn};
+use crate::privilege::PrivilegeSet;
+use crate::sched::CreditScheduler;
+use crate::snapshot::{RecoveryBox, SnapshotManager};
+
+/// A record of one hypercall, for the audit log (§3.2.2).
+#[derive(Debug, Clone)]
+pub struct HypercallTrace {
+    /// Simulated time of the call.
+    pub at_ns: u64,
+    /// Issuing domain.
+    pub caller: DomId,
+    /// Hypercall class.
+    pub id: HypercallId,
+    /// Whether it was permitted.
+    pub allowed: bool,
+}
+
+/// Host hardware description.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Machine memory in MiB.
+    pub memory_mib: u64,
+    /// Physical CPU count.
+    pub cpus: u32,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        // The paper's testbed: quad-core Xeon W3520, 4 GB RAM.
+        HostConfig {
+            memory_mib: 4096,
+            cpus: 4,
+        }
+    }
+}
+
+/// Frames per MiB at 4 KiB pages.
+pub const FRAMES_PER_MIB: u64 = 256;
+
+/// The machine monitor.
+pub struct Hypervisor {
+    config: HostConfig,
+    domains: HashMap<DomId, Domain>,
+    next_domid: u32,
+    /// Machine memory manager.
+    pub mem: MemoryManager,
+    /// Event-channel switch.
+    pub events: EventChannels,
+    /// Credit scheduler.
+    pub sched: CreditScheduler,
+    grants: HashMap<DomId, GrantTable>,
+    snapshots: SnapshotManager,
+    /// Per-domain console output rings (drained by the console service).
+    consoles: HashMap<DomId, Vec<u8>>,
+    now_ns: u64,
+    tracing: bool,
+    trace: Vec<HypercallTrace>,
+    /// If set, a Dom0 crash reboots the whole host (stock Xen behaviour,
+    /// §5.8); Xoar clears it so Bootstrapper may exit after boot.
+    pub dom0_failure_is_fatal: bool,
+    host_reboots: u64,
+}
+
+impl Hypervisor {
+    /// Boots a hypervisor on the given host.
+    pub fn new(config: HostConfig) -> Self {
+        Hypervisor {
+            config,
+            domains: HashMap::new(),
+            next_domid: 0,
+            mem: MemoryManager::new(config.memory_mib * FRAMES_PER_MIB),
+            events: EventChannels::new(),
+            sched: CreditScheduler::new(config.cpus),
+            grants: HashMap::new(),
+            snapshots: SnapshotManager::new(),
+            consoles: HashMap::new(),
+            now_ns: 0,
+            tracing: false,
+            trace: Vec::new(),
+            dom0_failure_is_fatal: true,
+            host_reboots: 0,
+        }
+    }
+
+    /// Boots with the paper's testbed configuration.
+    pub fn with_default_host() -> Self {
+        Self::new(HostConfig::default())
+    }
+
+    // ----- clock -----
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the simulated clock.
+    pub fn advance_time(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+
+    // ----- domain bootstrap (hypervisor-internal, not a hypercall) -----
+
+    /// Creates the first domain directly, as Xen does for Dom0 (or Xoar's
+    /// Bootstrapper) during host boot. Returns its ID (always `DomId(0)`
+    /// for the first call).
+    pub fn create_boot_domain(
+        &mut self,
+        name: impl Into<String>,
+        role: DomainRole,
+        memory_mib: u64,
+        privileges: PrivilegeSet,
+    ) -> HvResult<DomId> {
+        let id = DomId(self.next_domid);
+        self.next_domid += 1;
+        let mut dom = Domain::new(id, name, role, memory_mib);
+        dom.privileges = privileges;
+        dom.created_at_ns = self.now_ns;
+        self.register(dom)?;
+        self.mem.populate(id, memory_mib * FRAMES_PER_MIB / 64)?;
+        self.domains
+            .get_mut(&id)
+            .expect("just registered")
+            .unpause();
+        self.sched.set_runnable(id, true);
+        Ok(id)
+    }
+
+    fn register(&mut self, dom: Domain) -> HvResult<()> {
+        let id = dom.id;
+        self.events.register_domain(id);
+        self.sched.add_domain(id);
+        self.grants.insert(id, GrantTable::new());
+        self.consoles.insert(id, Vec::new());
+        self.domains.insert(id, dom);
+        Ok(())
+    }
+
+    // ----- introspection -----
+
+    /// Looks up a domain.
+    pub fn domain(&self, id: DomId) -> HvResult<&Domain> {
+        self.domains.get(&id).ok_or(HvError::NoSuchDomain(id))
+    }
+
+    /// Mutable domain lookup (platform layers, tests).
+    pub fn domain_mut(&mut self, id: DomId) -> HvResult<&mut Domain> {
+        self.domains.get_mut(&id).ok_or(HvError::NoSuchDomain(id))
+    }
+
+    /// All live domain IDs, sorted.
+    pub fn domain_ids(&self) -> Vec<DomId> {
+        let mut v: Vec<DomId> = self
+            .domains
+            .iter()
+            .filter(|(_, d)| d.state != DomainState::Dead)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live domains.
+    pub fn domain_count(&self) -> usize {
+        self.domain_ids().len()
+    }
+
+    /// Grant table of a domain (read-only, for audit).
+    pub fn grant_table(&self, dom: DomId) -> Option<&GrantTable> {
+        self.grants.get(&dom)
+    }
+
+    /// Times the host was rebooted by a fatal control-VM failure.
+    pub fn host_reboot_count(&self) -> u64 {
+        self.host_reboots
+    }
+
+    /// Host configuration.
+    pub fn host_config(&self) -> HostConfig {
+        self.config
+    }
+
+    // ----- tracing -----
+
+    /// Enables or disables hypercall tracing.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Drains the accumulated trace records.
+    pub fn take_trace(&mut self) -> Vec<HypercallTrace> {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn record(&mut self, caller: DomId, id: HypercallId, allowed: bool) {
+        if self.tracing {
+            self.trace.push(HypercallTrace {
+                at_ns: self.now_ns,
+                caller,
+                id,
+                allowed,
+            });
+        }
+    }
+
+    // ----- access-control helpers -----
+
+    fn check_whitelist(&self, caller: DomId, id: HypercallId) -> HvResult<()> {
+        let dom = self.domain(caller)?;
+        if !dom.state.can_issue_hypercalls() {
+            return Err(HvError::InvalidDomainState {
+                dom: caller,
+                expected: "Running",
+            });
+        }
+        if dom.privileges.permits_hypercall(id) {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller,
+                privilege: format!("hypercall {}", id.name()),
+            })
+        }
+    }
+
+    /// Management check of §5.6: privileged VM-management hypercalls are
+    /// audited against the parent-toolstack flag (or explicit delegation).
+    fn check_management(&self, caller: DomId, target: DomId) -> HvResult<()> {
+        let t = self.domain(target)?;
+        let c = self.domain(caller)?;
+        if t.parent_toolstack == Some(caller)
+            || t.privileges.delegated_to.contains(&caller)
+            || c.privileges.map_foreign_any
+        {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller,
+                privilege: format!("management of {target}"),
+            })
+        }
+    }
+
+    /// IVC policy of §5.6: sharing requires one end to be a shard, and a
+    /// guest end must have that shard delegated to it.
+    fn check_ivc(&self, a: DomId, b: DomId) -> HvResult<()> {
+        let da = self.domain(a)?;
+        let db = self.domain(b)?;
+        let ok = match (da.is_shard(), db.is_shard()) {
+            (true, true) => true,
+            (true, false) => db.delegated_shards.contains(&a),
+            (false, true) => da.delegated_shards.contains(&b),
+            (false, false) => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller: a,
+                privilege: format!("IVC between {a} and {b} (not a delegated shard pair)"),
+            })
+        }
+    }
+
+    fn check_foreign_access(&self, caller: DomId, target: DomId) -> HvResult<()> {
+        let c = self.domain(caller)?;
+        if c.privileges.map_foreign_any || c.privileged_for.contains(&target) {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller,
+                privilege: format!("foreign mapping of {target}"),
+            })
+        }
+    }
+
+    // ----- the hypercall gate -----
+
+    /// Dispatches a hypercall from `caller`.
+    ///
+    /// This is the single trap gate of the platform: whitelist check
+    /// first, then per-argument access control, then the operation.
+    pub fn hypercall(&mut self, caller: DomId, call: Hypercall) -> HvResult<HypercallRet> {
+        let id = call.id();
+        if let Err(e) = self.check_whitelist(caller, id) {
+            self.record(caller, id, false);
+            return Err(e);
+        }
+        let result = self.dispatch(caller, call);
+        self.record(caller, id, result.is_ok());
+        result
+    }
+
+    fn dispatch(&mut self, caller: DomId, call: Hypercall) -> HvResult<HypercallRet> {
+        use Hypercall::*;
+        match call {
+            EvtchnAllocUnbound { remote } => {
+                self.check_ivc(caller, remote)?;
+                let port = self.events.alloc_unbound(caller, remote)?;
+                Ok(HypercallRet::Port(port))
+            }
+            EvtchnBindInterdomain {
+                remote,
+                remote_port,
+            } => {
+                self.check_ivc(caller, remote)?;
+                let port = self.events.bind_interdomain(caller, remote, remote_port)?;
+                Ok(HypercallRet::Port(port))
+            }
+            EvtchnBindVirq { virq } => {
+                let port = self.events.bind_virq(caller, virq)?;
+                Ok(HypercallRet::Port(port))
+            }
+            EvtchnSend { port } => {
+                self.events.send(caller, port)?;
+                Ok(HypercallRet::Ok)
+            }
+            EvtchnClose { port } => {
+                self.events.close(caller, port)?;
+                Ok(HypercallRet::Ok)
+            }
+            GnttabGrantAccess {
+                grantee,
+                pfn,
+                access,
+            } => {
+                self.check_ivc(caller, grantee)?;
+                // A deduplicated frame must never be exported: break CoW
+                // sharing before granting.
+                let mfn = self.mem.exclusive_mfn(caller, pfn)?;
+                let table = self.grants.get_mut(&caller).expect("registered domain");
+                let gref = table.grant(grantee, pfn, mfn, access)?;
+                Ok(HypercallRet::GrantRef(gref))
+            }
+            GnttabEndAccess { gref } => {
+                let table = self.grants.get_mut(&caller).expect("registered domain");
+                table.end_access(gref)?;
+                Ok(HypercallRet::Ok)
+            }
+            GnttabGrantTransfer { grantee, pfn } => {
+                self.check_ivc(caller, grantee)?;
+                let mfn = self.mem.exclusive_mfn(caller, pfn)?;
+                let table = self.grants.get_mut(&caller).expect("registered domain");
+                let gref = table.grant_transfer(grantee, pfn, mfn)?;
+                Ok(HypercallRet::GrantRef(gref))
+            }
+            GnttabAcceptTransfer { granter, gref } => {
+                let table = self
+                    .grants
+                    .get_mut(&granter)
+                    .ok_or(HvError::NoSuchDomain(granter))?;
+                let (pfn, _mfn) = table.accept_transfer(caller, gref)?;
+                let new_pfn = self.mem.transfer_frame(granter, pfn, caller)?;
+                Ok(HypercallRet::Pfn(new_pfn))
+            }
+            GnttabMapGrantRef { granter, gref } => {
+                let table = self
+                    .grants
+                    .get_mut(&granter)
+                    .ok_or(HvError::NoSuchDomain(granter))?;
+                let (mfn, _access) = table.map(caller, gref)?;
+                self.mem.inc_grant_mapping(mfn)?;
+                Ok(HypercallRet::Mfn(mfn))
+            }
+            GnttabUnmapGrantRef { granter, gref } => {
+                let table = self
+                    .grants
+                    .get_mut(&granter)
+                    .ok_or(HvError::NoSuchDomain(granter))?;
+                let mfn = table.unmap(caller, gref)?;
+                self.mem.dec_grant_mapping(mfn)?;
+                Ok(HypercallRet::Ok)
+            }
+            GnttabForeignSetup {
+                owner,
+                grantee,
+                pfn,
+                access,
+            } => {
+                // Builder-only (§5.6): install a grant in `owner`'s table.
+                let mfn = self.mem.exclusive_mfn(owner, pfn)?;
+                let table = self
+                    .grants
+                    .get_mut(&owner)
+                    .ok_or(HvError::NoSuchDomain(owner))?;
+                let gref = table.grant(grantee, pfn, mfn, access)?;
+                Ok(HypercallRet::GrantRef(gref))
+            }
+            DomctlCreateDomain {
+                name,
+                memory_mib,
+                vcpus,
+            } => {
+                if self.mem.free_frames() < memory_mib * FRAMES_PER_MIB / 64 {
+                    return Err(HvError::Memory(crate::error::MemError::OutOfFrames));
+                }
+                let id = DomId(self.next_domid);
+                self.next_domid += 1;
+                let mut dom = Domain::new(id, name, DomainRole::Guest, memory_mib);
+                dom.set_vcpus(vcpus);
+                dom.parent_toolstack = Some(caller);
+                dom.created_at_ns = self.now_ns;
+                self.register(dom)?;
+                Ok(HypercallRet::DomId(id))
+            }
+            DomctlDestroyDomain { target } => {
+                self.check_management(caller, target)?;
+                self.destroy(target)?;
+                Ok(HypercallRet::Ok)
+            }
+            DomctlPauseDomain { target } => {
+                self.check_management(caller, target)?;
+                let d = self.domain_mut(target)?;
+                if d.state != DomainState::Running {
+                    return Err(HvError::InvalidDomainState {
+                        dom: target,
+                        expected: "Running",
+                    });
+                }
+                d.state = DomainState::Paused;
+                self.sched.set_runnable(target, false);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlUnpauseDomain { target } => {
+                self.check_management(caller, target)?;
+                let d = self.domain_mut(target)?;
+                match d.state {
+                    DomainState::Building | DomainState::Paused | DomainState::Snapshotted => {
+                        d.unpause();
+                        self.sched.set_runnable(target, true);
+                        Ok(HypercallRet::Ok)
+                    }
+                    _ => Err(HvError::InvalidDomainState {
+                        dom: target,
+                        expected: "Building|Paused|Snapshotted",
+                    }),
+                }
+            }
+            DomctlSetMaxMem { target, memory_mib } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.memory_mib = memory_mib;
+                Ok(HypercallRet::Ok)
+            }
+            DomctlSetVcpus { target, vcpus } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.set_vcpus(vcpus);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlAssignDevice { target, device } => {
+                self.check_management(caller, target)?;
+                // A device may be passed through to at most one domain.
+                for (id, d) in &self.domains {
+                    if *id != target
+                        && d.state != DomainState::Dead
+                        && d.privileges.pci_devices.contains(&device)
+                    {
+                        return Err(HvError::AlreadyAssigned(format!(
+                            "PCI device {device} already assigned to {id}"
+                        )));
+                    }
+                }
+                self.domain_mut(target)?
+                    .privileges
+                    .assign_pci_device(device);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlDelegate { target, manager } => {
+                self.check_management(caller, target)?;
+                self.domain(manager)?;
+                let t = self.domain_mut(target)?;
+                t.privileges.allow_delegation(manager);
+                if t.parent_toolstack.is_none() || t.parent_toolstack == Some(caller) {
+                    t.parent_toolstack = Some(manager);
+                }
+                Ok(HypercallRet::Ok)
+            }
+            DomctlSetRole { target, shard } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.role = if shard {
+                    DomainRole::Shard
+                } else {
+                    DomainRole::Guest
+                };
+                Ok(HypercallRet::Ok)
+            }
+            DomctlSetPrivilegedFor { subject, object } => {
+                self.check_management(caller, subject)?;
+                self.domain(object)?;
+                self.domain_mut(subject)?.privileged_for.insert(object);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlIoPortPermission { target, range } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.privileges.io_ports.insert(range);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlMmioPermission { target, range } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.privileges.mmio.insert(range);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlIrqPermission { target, irq } => {
+                self.check_management(caller, target)?;
+                self.domain_mut(target)?.privileges.irqs.insert(irq);
+                Ok(HypercallRet::Ok)
+            }
+            DomctlPermitHypercall { target, id } => {
+                self.check_management(caller, target)?;
+                // Privilege amplification guard: a domain may only hand out
+                // privileges it holds itself. Blanket-privileged domains
+                // (Dom0, the boot-time Bootstrapper) are outside the
+                // least-privilege regime and exempt.
+                let c = self.domain(caller)?;
+                if !c.privileges.map_foreign_any && !c.privileges.permits_hypercall(id) {
+                    return Err(HvError::PermissionDenied {
+                        caller,
+                        privilege: format!("granting {} without holding it", id.name()),
+                    });
+                }
+                self.domain_mut(target)?.privileges.permit_hypercall(id);
+                Ok(HypercallRet::Ok)
+            }
+            MemoryPopulate { target, frames } => {
+                self.check_management(caller, target)?;
+                let d = self.domain(target)?;
+                if d.state != DomainState::Building {
+                    return Err(HvError::InvalidDomainState {
+                        dom: target,
+                        expected: "Building",
+                    });
+                }
+                let first = self.mem.populate(target, frames)?;
+                let _ = first;
+                Ok(HypercallRet::Ok)
+            }
+            MmuMapForeign { target, pfn } => {
+                self.check_foreign_access(caller, target)?;
+                let mfn = self.mem.exclusive_mfn(target, pfn)?;
+                self.mem.inc_foreign_mapping(mfn)?;
+                Ok(HypercallRet::Mfn(mfn))
+            }
+            MmuWriteForeign { target, pfn, data } => {
+                self.check_foreign_access(caller, target)?;
+                self.mem.write(target, pfn, &data)?;
+                Ok(HypercallRet::Ok)
+            }
+            VmSnapshot => {
+                let now = self.now_ns;
+                self.snapshots.snapshot(caller, &mut self.mem, now)?;
+                Ok(HypercallRet::Ok)
+            }
+            VmRollback { target } => {
+                self.check_management(caller, target)?;
+                let restored = self.snapshots.rollback(target, &mut self.mem)?;
+                let d = self.domain_mut(target)?;
+                d.restart_count += 1;
+                Ok(HypercallRet::Count(restored))
+            }
+            SysctlPhysinfo => Ok(HypercallRet::Physinfo {
+                total_frames: self.mem.total_frames(),
+                free_frames: self.mem.free_frames(),
+                cpus: self.config.cpus,
+            }),
+            SchedYield => Ok(HypercallRet::Ok),
+            ConsoleWrite { data } => {
+                let buf = self.consoles.entry(caller).or_default();
+                buf.extend_from_slice(&data);
+                Ok(HypercallRet::Ok)
+            }
+        }
+    }
+
+    // ----- non-hypercall services -----
+
+    /// Registers a recovery box for `dom` (issued by the domain itself
+    /// during initialisation, before `vm_snapshot()`).
+    pub fn register_recovery_box(&mut self, dom: DomId, rbox: RecoveryBox) -> HvResult<()> {
+        self.domain(dom)?;
+        self.snapshots.register_recovery_box(dom, rbox);
+        Ok(())
+    }
+
+    /// Whether `dom` holds a snapshot image.
+    pub fn has_snapshot(&self, dom: DomId) -> bool {
+        self.snapshots.has_snapshot(dom)
+    }
+
+    /// Rollback count of `dom`'s image (0 if none).
+    pub fn rollback_count(&self, dom: DomId) -> u64 {
+        self.snapshots.image(dom).map_or(0, |i| i.rollback_count)
+    }
+
+    /// Drains a domain's console output (used by the console service).
+    pub fn console_take(&mut self, dom: DomId) -> Vec<u8> {
+        self.consoles
+            .get_mut(&dom)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Raises a VIRQ (hypervisor-originated interrupt delivery).
+    pub fn raise_virq(&mut self, dom: DomId, virq: VirqKind) -> bool {
+        self.events.raise_virq(dom, virq)
+    }
+
+    /// Checks a trapped I/O-port access by `dom` (§5.8: the hypervisor
+    /// "sets up MMIO and I/O-port privileges" — hard-coded to Dom0 in
+    /// stock Xen, remapped to the Console Manager and PCIBack in Xoar).
+    pub fn check_io_port(&self, dom: DomId, port: u16) -> HvResult<()> {
+        let d = self.domain(dom)?;
+        if d.privileges.permits_io_port(port) {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller: dom,
+                privilege: format!("I/O port {port:#x}"),
+            })
+        }
+    }
+
+    /// Checks a trapped MMIO access by `dom` to machine frame `mfn`.
+    pub fn check_mmio(&self, dom: DomId, mfn: u64) -> HvResult<()> {
+        let d = self.domain(dom)?;
+        if d.privileges.permits_mmio(mfn) {
+            Ok(())
+        } else {
+            Err(HvError::PermissionDenied {
+                caller: dom,
+                privilege: format!("MMIO frame {mfn:#x}"),
+            })
+        }
+    }
+
+    /// Simulates the crash of a domain.
+    ///
+    /// If the crashed domain is Dom0 and [`Self::dom0_failure_is_fatal`] is
+    /// set (stock Xen, §5.8), the whole host reboots: every domain dies.
+    /// Otherwise only the crashed domain is destroyed.
+    pub fn crash_domain(&mut self, dom: DomId) -> HvResult<()> {
+        self.domain(dom)?;
+        if dom.is_dom0() && self.dom0_failure_is_fatal {
+            self.host_reboots += 1;
+            let ids = self.domain_ids();
+            for id in ids {
+                let _ = self.destroy(id);
+            }
+        } else {
+            self.destroy(dom)?;
+        }
+        Ok(())
+    }
+
+    fn destroy(&mut self, target: DomId) -> HvResult<()> {
+        let d = self.domain_mut(target)?;
+        if d.state == DomainState::Dead {
+            return Err(HvError::InvalidDomainState {
+                dom: target,
+                expected: "not already Dead",
+            });
+        }
+        d.state = DomainState::Dead;
+        self.sched.remove_domain(target);
+        self.events.remove_domain(target);
+        self.mem.release_domain(target);
+        self.snapshots.discard(target);
+        self.grants.remove(&target);
+        Ok(())
+    }
+
+    // ----- convenience wrappers used by the platform layers -----
+
+    /// Issues `GnttabForeignSetup` semantics directly for boot-time wiring
+    /// performed by the hypervisor itself (before any builder exists).
+    pub fn boot_grant(
+        &mut self,
+        owner: DomId,
+        grantee: DomId,
+        pfn: Pfn,
+        access: GrantAccess,
+    ) -> HvResult<GrantRef> {
+        let mfn = self.mem.exclusive_mfn(owner, pfn)?;
+        let table = self
+            .grants
+            .get_mut(&owner)
+            .ok_or(HvError::NoSuchDomain(owner))?;
+        Ok(table.grant(grantee, pfn, mfn, access)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::PAGE_SIZE;
+
+    /// Builds a hypervisor with a Dom0-style control VM.
+    fn xen_like() -> (Hypervisor, DomId) {
+        let mut hv = Hypervisor::with_default_host();
+        let dom0 = hv
+            .create_boot_domain("dom0", DomainRole::ControlVm, 750, PrivilegeSet::dom0())
+            .unwrap();
+        (hv, dom0)
+    }
+
+    fn build_guest(hv: &mut Hypervisor, dom0: DomId, name: &str) -> DomId {
+        let id = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCreateDomain {
+                    name: name.into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        hv.hypercall(
+            dom0,
+            Hypercall::MemoryPopulate {
+                target: id,
+                frames: 16,
+            },
+        )
+        .unwrap();
+        hv.hypercall(dom0, Hypercall::DomctlUnpauseDomain { target: id })
+            .unwrap();
+        // Let the guest talk to the control VM (split drivers, xenstore).
+        hv.domain_mut(id).unwrap().delegated_shards.insert(dom0);
+        id
+    }
+
+    #[test]
+    fn dom0_is_domid_zero() {
+        let (_, dom0) = xen_like();
+        assert_eq!(dom0, DomId::DOM0);
+    }
+
+    #[test]
+    fn guest_cannot_issue_privileged_hypercalls() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "guest");
+        let err = hv
+            .hypercall(
+                g,
+                Hypercall::DomctlCreateDomain {
+                    name: "evil".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn guest_cannot_map_foreign_memory() {
+        let (mut hv, dom0) = xen_like();
+        let a = build_guest(&mut hv, dom0, "a");
+        let b = build_guest(&mut hv, dom0, "b");
+        let err = hv
+            .hypercall(
+                a,
+                Hypercall::MmuMapForeign {
+                    target: b,
+                    pfn: Pfn(0),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn dom0_can_map_and_write_guest_memory() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "guest");
+        hv.hypercall(
+            dom0,
+            Hypercall::MmuWriteForeign {
+                target: g,
+                pfn: Pfn(0),
+                data: b"start-info".to_vec(),
+            },
+        )
+        .unwrap();
+        assert_eq!(hv.mem.read(g, Pfn(0)).unwrap(), b"start-info");
+    }
+
+    #[test]
+    fn privileged_for_edge_allows_limited_foreign_mapping() {
+        let (mut hv, dom0) = xen_like();
+        let qemu = build_guest(&mut hv, dom0, "qemu-stub");
+        let hvm = build_guest(&mut hv, dom0, "hvm-guest");
+        // Without the flag: denied.
+        assert!(hv
+            .hypercall(
+                qemu,
+                Hypercall::MmuMapForeign {
+                    target: hvm,
+                    pfn: Pfn(0)
+                }
+            )
+            .is_err());
+        // Grant MmuMapForeign + the privileged_for edge (as the Builder
+        // does for QEMU stub domains, §5.6).
+        hv.hypercall(
+            dom0,
+            Hypercall::DomctlPermitHypercall {
+                target: qemu,
+                id: HypercallId::MmuMapForeign,
+            },
+        )
+        .unwrap();
+        hv.hypercall(
+            dom0,
+            Hypercall::DomctlSetPrivilegedFor {
+                subject: qemu,
+                object: hvm,
+            },
+        )
+        .unwrap();
+        assert!(hv
+            .hypercall(
+                qemu,
+                Hypercall::MmuMapForeign {
+                    target: hvm,
+                    pfn: Pfn(0)
+                }
+            )
+            .is_ok());
+        // But not of any *other* domain.
+        let other = build_guest(&mut hv, dom0, "other");
+        assert!(hv
+            .hypercall(
+                qemu,
+                Hypercall::MmuMapForeign {
+                    target: other,
+                    pfn: Pfn(0)
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn guest_to_guest_ivc_refused() {
+        let (mut hv, dom0) = xen_like();
+        let a = build_guest(&mut hv, dom0, "a");
+        let b = build_guest(&mut hv, dom0, "b");
+        let err = hv
+            .hypercall(a, Hypercall::EvtchnAllocUnbound { remote: b })
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn guest_to_delegated_shard_ivc_allowed() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "g");
+        let port = hv
+            .hypercall(g, Hypercall::EvtchnAllocUnbound { remote: dom0 })
+            .unwrap()
+            .port();
+        let p0 = hv
+            .hypercall(
+                dom0,
+                Hypercall::EvtchnBindInterdomain {
+                    remote: g,
+                    remote_port: port,
+                },
+            )
+            .unwrap()
+            .port();
+        hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
+        assert_eq!(hv.events.poll(dom0).unwrap().port, p0);
+    }
+
+    #[test]
+    fn guest_to_undelegated_shard_ivc_refused() {
+        let (mut hv, dom0) = xen_like();
+        // A second shard the guest was never delegated.
+        let other_backend = hv
+            .create_boot_domain("netback2", DomainRole::Shard, 128, PrivilegeSet::default())
+            .unwrap();
+        let g = build_guest(&mut hv, dom0, "g");
+        let err = hv
+            .hypercall(
+                g,
+                Hypercall::EvtchnAllocUnbound {
+                    remote: other_backend,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn grant_path_checks_ivc_policy() {
+        let (mut hv, dom0) = xen_like();
+        let a = build_guest(&mut hv, dom0, "a");
+        let b = build_guest(&mut hv, dom0, "b");
+        // Guest→guest grant refused...
+        assert!(hv
+            .hypercall(
+                a,
+                Hypercall::GnttabGrantAccess {
+                    grantee: b,
+                    pfn: Pfn(0),
+                    access: GrantAccess::ReadWrite,
+                }
+            )
+            .is_err());
+        // ...guest→delegated-shard grant allowed, and dom0 can map it.
+        let gref = hv
+            .hypercall(
+                a,
+                Hypercall::GnttabGrantAccess {
+                    grantee: dom0,
+                    pfn: Pfn(0),
+                    access: GrantAccess::ReadWrite,
+                },
+            )
+            .unwrap()
+            .grant_ref();
+        hv.hypercall(dom0, Hypercall::GnttabMapGrantRef { granter: a, gref })
+            .unwrap();
+    }
+
+    #[test]
+    fn management_gated_on_parent_toolstack() {
+        let (mut hv, _dom0) = xen_like();
+        // Two "toolstack" shards without blanket privileges.
+        let mut priv_ts = PrivilegeSet::default();
+        for id in [
+            HypercallId::DomctlCreateDomain,
+            HypercallId::DomctlDestroyDomain,
+            HypercallId::DomctlPauseDomain,
+            HypercallId::DomctlUnpauseDomain,
+            HypercallId::MemoryPopulate,
+        ] {
+            priv_ts.permit_hypercall(id);
+        }
+        let ts1 = hv
+            .create_boot_domain("toolstack-1", DomainRole::Shard, 128, priv_ts.clone())
+            .unwrap();
+        let ts2 = hv
+            .create_boot_domain("toolstack-2", DomainRole::Shard, 128, priv_ts)
+            .unwrap();
+        let g = hv
+            .hypercall(
+                ts1,
+                Hypercall::DomctlCreateDomain {
+                    name: "tenant".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        // The other toolstack holds the same *hypercalls* but is not the
+        // parent: per-argument check refuses it.
+        let err = hv
+            .hypercall(ts2, Hypercall::DomctlDestroyDomain { target: g })
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+        // The parent may destroy.
+        hv.hypercall(ts1, Hypercall::DomctlDestroyDomain { target: g })
+            .unwrap();
+        assert_eq!(hv.domain(g).unwrap().state, DomainState::Dead);
+    }
+
+    #[test]
+    fn privilege_amplification_refused() {
+        let (mut hv, dom0) = xen_like();
+        let mut p = PrivilegeSet::default();
+        p.permit_hypercall(HypercallId::DomctlPermitHypercall);
+        p.permit_hypercall(HypercallId::DomctlCreateDomain);
+        let ts = hv
+            .create_boot_domain("toolstack", DomainRole::Shard, 128, p)
+            .unwrap();
+        let g = hv
+            .hypercall(
+                ts,
+                Hypercall::DomctlCreateDomain {
+                    name: "g".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        // The toolstack does not itself hold MmuMapForeign, so it cannot
+        // confer it.
+        let err = hv
+            .hypercall(
+                ts,
+                Hypercall::DomctlPermitHypercall {
+                    target: g,
+                    id: HypercallId::MmuMapForeign,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+        let _ = dom0;
+    }
+
+    #[test]
+    fn pci_device_single_assignment() {
+        let (mut hv, dom0) = xen_like();
+        let a = build_guest(&mut hv, dom0, "netback");
+        let b = build_guest(&mut hv, dom0, "evil");
+        let nic = crate::privilege::PciAddress::new(0, 2, 0);
+        hv.hypercall(
+            dom0,
+            Hypercall::DomctlAssignDevice {
+                target: a,
+                device: nic,
+            },
+        )
+        .unwrap();
+        let err = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlAssignDevice {
+                    target: b,
+                    device: nic,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::AlreadyAssigned(_)));
+    }
+
+    #[test]
+    fn snapshot_rollback_via_hypercalls() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "netback");
+        hv.mem.write(g, Pfn(0), b"initialized").unwrap();
+        hv.hypercall(g, Hypercall::VmSnapshot).unwrap();
+        hv.mem.write(g, Pfn(0), b"compromised").unwrap();
+        hv.hypercall(dom0, Hypercall::VmRollback { target: g })
+            .unwrap();
+        assert_eq!(hv.mem.read(g, Pfn(0)).unwrap(), b"initialized");
+        assert_eq!(hv.domain(g).unwrap().restart_count, 1);
+        assert_eq!(hv.rollback_count(g), 1);
+    }
+
+    #[test]
+    fn dom0_crash_reboots_host_in_stock_xen() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "guest");
+        hv.crash_domain(dom0).unwrap();
+        assert_eq!(hv.host_reboot_count(), 1);
+        assert_eq!(hv.domain(g).unwrap().state, DomainState::Dead);
+    }
+
+    #[test]
+    fn shard_crash_is_contained_when_not_fatal() {
+        let (mut hv, dom0) = xen_like();
+        hv.dom0_failure_is_fatal = false;
+        let g = build_guest(&mut hv, dom0, "guest");
+        hv.crash_domain(dom0).unwrap();
+        assert_eq!(hv.host_reboot_count(), 0);
+        assert_eq!(hv.domain(g).unwrap().state, DomainState::Running);
+    }
+
+    #[test]
+    fn paused_domain_cannot_hypercall() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "g");
+        hv.hypercall(dom0, Hypercall::DomctlPauseDomain { target: g })
+            .unwrap();
+        let err = hv.hypercall(g, Hypercall::SchedYield).unwrap_err();
+        assert!(matches!(err, HvError::InvalidDomainState { .. }));
+    }
+
+    #[test]
+    fn console_write_and_drain() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "g");
+        hv.hypercall(
+            g,
+            Hypercall::ConsoleWrite {
+                data: b"Linux version 2.6.31\n".to_vec(),
+            },
+        )
+        .unwrap();
+        assert_eq!(hv.console_take(g), b"Linux version 2.6.31\n");
+        assert!(hv.console_take(g).is_empty());
+    }
+
+    #[test]
+    fn tracing_records_denied_calls() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "g");
+        hv.set_tracing(true);
+        let _ = hv.hypercall(g, Hypercall::SysctlPhysinfo);
+        let trace = hv.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert!(!trace[0].allowed);
+        assert_eq!(trace[0].caller, g);
+    }
+
+    #[test]
+    fn physinfo_reports_host() {
+        let (mut hv, dom0) = xen_like();
+        match hv.hypercall(dom0, Hypercall::SysctlPhysinfo).unwrap() {
+            HypercallRet::Physinfo {
+                total_frames, cpus, ..
+            } => {
+                assert_eq!(total_frames, 4096 * FRAMES_PER_MIB);
+                assert_eq!(cpus, 4);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_foreign_bounded_by_page() {
+        let (mut hv, dom0) = xen_like();
+        let g = build_guest(&mut hv, dom0, "g");
+        let err = hv
+            .hypercall(
+                dom0,
+                Hypercall::MmuWriteForeign {
+                    target: g,
+                    pfn: Pfn(0),
+                    data: vec![0; PAGE_SIZE + 1],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::InvalidArgument(_)));
+    }
+}
+
+#[cfg(test)]
+mod transfer_hypercall_tests {
+    use super::*;
+    use crate::memory::Pfn;
+
+    fn platform() -> (Hypervisor, DomId, DomId, DomId) {
+        let mut hv = Hypervisor::with_default_host();
+        let dom0 = hv
+            .create_boot_domain("dom0", DomainRole::ControlVm, 512, PrivilegeSet::dom0())
+            .unwrap();
+        let g = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCreateDomain {
+                    name: "g".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        hv.hypercall(
+            dom0,
+            Hypercall::MemoryPopulate {
+                target: g,
+                frames: 8,
+            },
+        )
+        .unwrap();
+        hv.hypercall(dom0, Hypercall::DomctlUnpauseDomain { target: g })
+            .unwrap();
+        hv.domain_mut(g).unwrap().delegated_shards.insert(dom0);
+        let nb = hv
+            .create_boot_domain("netback", DomainRole::Shard, 128, PrivilegeSet::default())
+            .unwrap();
+        hv.domain_mut(g).unwrap().delegated_shards.insert(nb);
+        (hv, dom0, g, nb)
+    }
+
+    #[test]
+    fn page_flip_moves_ownership() {
+        let (mut hv, _dom0, g, nb) = platform();
+        hv.mem.write(g, Pfn(3), b"rx-buffer").unwrap();
+        let owned_before_g = hv.mem.owned_frames(g);
+        let owned_before_nb = hv.mem.owned_frames(nb);
+        let gref = hv
+            .hypercall(
+                g,
+                Hypercall::GnttabGrantTransfer {
+                    grantee: nb,
+                    pfn: Pfn(3),
+                },
+            )
+            .unwrap()
+            .grant_ref();
+        let new_pfn = match hv
+            .hypercall(nb, Hypercall::GnttabAcceptTransfer { granter: g, gref })
+            .unwrap()
+        {
+            HypercallRet::Pfn(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Contents travelled with the frame.
+        assert_eq!(hv.mem.read(nb, new_pfn).unwrap(), b"rx-buffer");
+        // Ownership counts moved.
+        assert_eq!(hv.mem.owned_frames(g), owned_before_g - 1);
+        assert_eq!(hv.mem.owned_frames(nb), owned_before_nb + 1);
+        // The source can no longer touch the page.
+        assert!(hv.mem.read(g, Pfn(3)).is_err());
+    }
+
+    #[test]
+    fn transfer_respects_ivc_policy() {
+        let (mut hv, dom0, g, _nb) = platform();
+        // A second guest with no delegation relationship.
+        let g2 = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCreateDomain {
+                    name: "g2".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        hv.hypercall(
+            dom0,
+            Hypercall::MemoryPopulate {
+                target: g2,
+                frames: 4,
+            },
+        )
+        .unwrap();
+        hv.hypercall(dom0, Hypercall::DomctlUnpauseDomain { target: g2 })
+            .unwrap();
+        let err = hv
+            .hypercall(
+                g,
+                Hypercall::GnttabGrantTransfer {
+                    grantee: g2,
+                    pfn: Pfn(0),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn only_grantee_accepts_transfer() {
+        let (mut hv, dom0, g, nb) = platform();
+        let gref = hv
+            .hypercall(
+                g,
+                Hypercall::GnttabGrantTransfer {
+                    grantee: nb,
+                    pfn: Pfn(0),
+                },
+            )
+            .unwrap()
+            .grant_ref();
+        let err = hv
+            .hypercall(dom0, Hypercall::GnttabAcceptTransfer { granter: g, gref })
+            .unwrap_err();
+        assert!(matches!(err, HvError::Grant(_)));
+        // The rightful grantee still can.
+        hv.hypercall(nb, Hypercall::GnttabAcceptTransfer { granter: g, gref })
+            .unwrap();
+    }
+}

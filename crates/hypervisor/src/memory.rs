@@ -1,0 +1,714 @@
+//! Machine memory: frames, ownership, and pseudo-physical mappings.
+//!
+//! The hypervisor owns all machine memory and accounts for every 4 KiB
+//! frame: which domain owns it, whether it is currently granted or foreign
+//! mapped, and (for the snapshot subsystem) whether it has been written
+//! since the last snapshot.
+//!
+//! Guests see *pseudo-physical* frame numbers ([`Pfn`]) which the
+//! hypervisor translates to *machine* frame numbers ([`Mfn`]); Xoar's
+//! security argument rests on the fact that only specific, whitelisted
+//! domains may establish mappings of frames they do not own.
+//!
+//! Frame *contents* are modelled lazily: a frame holds an optional byte
+//! vector capped at [`PAGE_SIZE`], so simulating a multi-gigabyte guest
+//! does not consume gigabytes of host memory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::DomId;
+use crate::error::{HvResult, MemError};
+
+/// Size of a page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A machine frame number (host-physical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mfn(pub u64);
+
+impl fmt::Display for Mfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{:#x}", self.0)
+    }
+}
+
+/// A pseudo-physical frame number (guest-physical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pfn(pub u64);
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// Per-frame metadata.
+#[derive(Debug, Clone)]
+struct FrameInfo {
+    owner: DomId,
+    /// Number of active grant mappings of this frame.
+    grant_mappings: u32,
+    /// Number of active foreign mappings of this frame.
+    foreign_mappings: u32,
+    /// Dirty since the owner's last snapshot (CoW tracking).
+    dirty_since_snapshot: bool,
+    /// Number of pseudo-physical mappings referencing this frame. 1 =
+    /// exclusive; >1 = deduplicated copy-on-write sharing (Difference
+    /// Engine / Satori style).
+    share_count: u32,
+    /// Logical contents (at most one page; empty means zero-filled).
+    data: Vec<u8>,
+}
+
+/// Per-domain pseudo-physical address space: `Pfn -> Mfn`.
+#[derive(Debug, Clone, Default)]
+struct P2m {
+    map: HashMap<u64, Mfn>,
+    next_pfn: u64,
+}
+
+/// The machine-memory manager.
+///
+/// Tracks every allocated frame, its owner, and its mapping counts, and
+/// maintains each domain's pseudo-physical map.
+#[derive(Debug)]
+pub struct MemoryManager {
+    total_frames: u64,
+    next_mfn: u64,
+    frames: HashMap<u64, FrameInfo>,
+    p2m: HashMap<DomId, P2m>,
+    free_count: u64,
+}
+
+impl MemoryManager {
+    /// Creates a manager for a host with `total_frames` frames of RAM.
+    pub fn new(total_frames: u64) -> Self {
+        MemoryManager {
+            total_frames,
+            next_mfn: 0x1000, // Leave a hole for "firmware", as real hosts do.
+            frames: HashMap::new(),
+            p2m: HashMap::new(),
+            free_count: total_frames,
+        }
+    }
+
+    /// Total machine frames.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Frames not yet allocated to any domain.
+    pub fn free_frames(&self) -> u64 {
+        self.free_count
+    }
+
+    /// Number of frames owned by `dom`.
+    pub fn owned_frames(&self, dom: DomId) -> u64 {
+        self.p2m.get(&dom).map_or(0, |m| m.map.len() as u64)
+    }
+
+    /// Allocates `count` frames to `dom`, extending its pseudo-physical
+    /// space contiguously. Returns the first new [`Pfn`].
+    pub fn populate(&mut self, dom: DomId, count: u64) -> HvResult<Pfn> {
+        if count > self.free_count {
+            return Err(MemError::OutOfFrames.into());
+        }
+        let p2m = self.p2m.entry(dom).or_default();
+        let first = Pfn(p2m.next_pfn);
+        for _ in 0..count {
+            let mfn = Mfn(self.next_mfn);
+            self.next_mfn += 1;
+            self.frames.insert(
+                mfn.0,
+                FrameInfo {
+                    owner: dom,
+                    grant_mappings: 0,
+                    foreign_mappings: 0,
+                    dirty_since_snapshot: false,
+                    share_count: 1,
+                    data: Vec::new(),
+                },
+            );
+            p2m.map.insert(p2m.next_pfn, mfn);
+            p2m.next_pfn += 1;
+        }
+        self.free_count -= count;
+        Ok(first)
+    }
+
+    /// Translates a domain-local [`Pfn`] to its machine frame.
+    pub fn translate(&self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
+        self.p2m
+            .get(&dom)
+            .and_then(|m| m.map.get(&pfn.0))
+            .copied()
+            .ok_or_else(|| MemError::BadPfn(pfn.0).into())
+    }
+
+    /// Returns the owner of a machine frame.
+    pub fn owner(&self, mfn: Mfn) -> HvResult<DomId> {
+        self.frames
+            .get(&mfn.0)
+            .map(|f| f.owner)
+            .ok_or_else(|| MemError::BadMfn(mfn.0).into())
+    }
+
+    /// Writes `data` into the frame at (`dom`, `pfn`), marking it dirty.
+    ///
+    /// A write to a deduplicated (shared) frame first breaks the sharing
+    /// copy-on-write, so the other domains mapping the frame are never
+    /// affected. Writes longer than [`PAGE_SIZE`] are rejected.
+    pub fn write(&mut self, dom: DomId, pfn: Pfn, data: &[u8]) -> HvResult<()> {
+        if data.len() > PAGE_SIZE {
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "write of {} bytes exceeds page size",
+                data.len()
+            )));
+        }
+        let mfn = self.exclusive_mfn(dom, pfn)?;
+        let frame = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        frame.data = data.to_vec();
+        frame.dirty_since_snapshot = true;
+        Ok(())
+    }
+
+    /// Resolves (`dom`, `pfn`) to a frame exclusively owned by `dom`,
+    /// breaking copy-on-write sharing if necessary.
+    ///
+    /// Used by every path that needs a writable or exportable frame:
+    /// guest writes, grant installation, and foreign mapping — a shared
+    /// frame must never be granted or foreign-mapped, or the grantee
+    /// would reach other domains' memory.
+    pub fn exclusive_mfn(&mut self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
+        let mfn = self.translate(dom, pfn)?;
+        let (shared, data) = {
+            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            (f.share_count > 1, f.data.clone())
+        };
+        if !shared {
+            return Ok(mfn);
+        }
+        if self.free_count == 0 {
+            return Err(MemError::OutOfFrames.into());
+        }
+        // Allocate a private copy and remap this domain's PFN to it.
+        let new_mfn = Mfn(self.next_mfn);
+        self.next_mfn += 1;
+        self.free_count -= 1;
+        self.frames.insert(
+            new_mfn.0,
+            FrameInfo {
+                owner: dom,
+                grant_mappings: 0,
+                foreign_mappings: 0,
+                dirty_since_snapshot: true,
+                share_count: 1,
+                data,
+            },
+        );
+        if let Some(f) = self.frames.get_mut(&mfn.0) {
+            f.share_count -= 1;
+        }
+        let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
+        p2m.map.insert(pfn.0, new_mfn);
+        Ok(new_mfn)
+    }
+
+    /// Content-based page deduplication across all domains (the
+    /// memory-density feature of the paper's introduction [21, 38]).
+    ///
+    /// Identical, non-empty, unmapped frames are merged onto one
+    /// canonical frame; duplicates are freed; subsequent writes break the
+    /// sharing via copy-on-write. Returns the number of frames freed.
+    pub fn share_identical(&mut self) -> u64 {
+        // Group candidate frames by content.
+        let mut by_content: HashMap<Vec<u8>, Vec<Mfn>> = HashMap::new();
+        for (&raw, f) in &self.frames {
+            if f.data.is_empty() || f.grant_mappings > 0 || f.foreign_mappings > 0 {
+                continue;
+            }
+            by_content.entry(f.data.clone()).or_default().push(Mfn(raw));
+        }
+        let mut freed = 0u64;
+        for (_, mut group) in by_content {
+            if group.len() < 2 {
+                continue;
+            }
+            group.sort_by_key(|m| m.0);
+            let canonical = group[0];
+            for dup in &group[1..] {
+                // Remap every PFN that points at the duplicate.
+                let dup_shares = self.frames.get(&dup.0).map_or(0, |f| f.share_count);
+                for p2m in self.p2m.values_mut() {
+                    for target in p2m.map.values_mut() {
+                        if *target == *dup {
+                            *target = canonical;
+                        }
+                    }
+                }
+                if let Some(c) = self.frames.get_mut(&canonical.0) {
+                    c.share_count += dup_shares;
+                }
+                self.frames.remove(&dup.0);
+                self.free_count += 1;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Number of frames currently shared by more than one mapping.
+    pub fn shared_frames(&self) -> u64 {
+        self.frames.values().filter(|f| f.share_count > 1).count() as u64
+    }
+
+    /// Moves ownership of the frame at (`from`, `pfn`) to `to`, removing
+    /// it from `from`'s pseudo-physical space and appending it to `to`'s
+    /// (grant-transfer / page-flipping support). Returns the PFN the
+    /// frame receives in `to`'s space.
+    ///
+    /// Shared or mapped frames cannot be transferred.
+    pub fn transfer_frame(&mut self, from: DomId, pfn: Pfn, to: DomId) -> HvResult<Pfn> {
+        let mfn = self.translate(from, pfn)?;
+        {
+            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            if f.share_count > 1 || f.grant_mappings > 0 || f.foreign_mappings > 0 {
+                return Err(MemError::FrameBusy(mfn.0).into());
+            }
+        }
+        // Detach from the source space.
+        let src = self.p2m.get_mut(&from).ok_or(MemError::BadPfn(pfn.0))?;
+        src.map.remove(&pfn.0);
+        // Attach to the destination space.
+        let dst = self.p2m.entry(to).or_default();
+        let new_pfn = Pfn(dst.next_pfn);
+        dst.map.insert(dst.next_pfn, mfn);
+        dst.next_pfn += 1;
+        if let Some(f) = self.frames.get_mut(&mfn.0) {
+            f.owner = to;
+            f.dirty_since_snapshot = true;
+        }
+        Ok(new_pfn)
+    }
+
+    /// Reads the logical contents of the frame at (`dom`, `pfn`).
+    pub fn read(&self, dom: DomId, pfn: Pfn) -> HvResult<Vec<u8>> {
+        let mfn = self.translate(dom, pfn)?;
+        Ok(self
+            .frames
+            .get(&mfn.0)
+            .ok_or(MemError::BadMfn(mfn.0))?
+            .data
+            .clone())
+    }
+
+    /// Writes directly by machine frame (hypervisor-internal paths).
+    pub fn write_mfn(&mut self, mfn: Mfn, data: &[u8]) -> HvResult<()> {
+        let frame = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        frame.data = data.to_vec();
+        frame.dirty_since_snapshot = true;
+        Ok(())
+    }
+
+    /// Reads directly by machine frame.
+    pub fn read_mfn(&self, mfn: Mfn) -> HvResult<Vec<u8>> {
+        Ok(self
+            .frames
+            .get(&mfn.0)
+            .ok_or(MemError::BadMfn(mfn.0))?
+            .data
+            .clone())
+    }
+
+    /// Increments the grant-mapping count of a frame.
+    pub(crate) fn inc_grant_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
+        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        f.grant_mappings += 1;
+        Ok(())
+    }
+
+    /// Decrements the grant-mapping count of a frame.
+    pub(crate) fn dec_grant_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
+        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        f.grant_mappings = f.grant_mappings.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Increments the foreign-mapping count of a frame.
+    pub(crate) fn inc_foreign_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
+        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        f.foreign_mappings += 1;
+        Ok(())
+    }
+
+    /// Number of active mappings (grant + foreign) of a frame.
+    pub fn mapping_count(&self, mfn: Mfn) -> HvResult<u32> {
+        let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        Ok(f.grant_mappings + f.foreign_mappings)
+    }
+
+    /// Releases all frames owned by `dom`.
+    ///
+    /// Frames with live grant mappings are leaked deliberately (as in Xen,
+    /// where a domain's memory cannot be recycled until grants are
+    /// unmapped); returns the number of frames actually freed.
+    pub fn release_domain(&mut self, dom: DomId) -> u64 {
+        let Some(p2m) = self.p2m.remove(&dom) else {
+            return 0;
+        };
+        let mut freed = 0;
+        for (_, mfn) in p2m.map {
+            if let Some(f) = self.frames.get_mut(&mfn.0) {
+                if f.share_count > 1 {
+                    // A deduplicated frame survives; only this mapping
+                    // goes away.
+                    f.share_count -= 1;
+                    continue;
+                }
+                if f.grant_mappings == 0 && f.foreign_mappings == 0 {
+                    self.frames.remove(&mfn.0);
+                    freed += 1;
+                }
+            }
+        }
+        self.free_count += freed;
+        freed
+    }
+
+    /// Lists the dirty frames of `dom` and clears their dirty bits
+    /// (snapshot support).
+    pub fn take_dirty(&mut self, dom: DomId) -> Vec<(Pfn, Mfn)> {
+        let Some(p2m) = self.p2m.get(&dom) else {
+            return Vec::new();
+        };
+        let mut dirty = Vec::new();
+        for (&pfn, &mfn) in &p2m.map {
+            if let Some(f) = self.frames.get(&mfn.0) {
+                if f.dirty_since_snapshot {
+                    dirty.push((Pfn(pfn), mfn));
+                }
+            }
+        }
+        for (_, mfn) in &dirty {
+            if let Some(f) = self.frames.get_mut(&mfn.0) {
+                f.dirty_since_snapshot = false;
+            }
+        }
+        dirty.sort_by_key(|(p, _)| p.0);
+        dirty
+    }
+
+    /// Iterates over `dom`'s pseudo-physical map in PFN order.
+    pub fn p2m_entries(&self, dom: DomId) -> Vec<(Pfn, Mfn)> {
+        let Some(p2m) = self.p2m.get(&dom) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(Pfn, Mfn)> = p2m.map.iter().map(|(&p, &m)| (Pfn(p), m)).collect();
+        v.sort_by_key(|(p, _)| p.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::HvError;
+
+    fn mm() -> MemoryManager {
+        MemoryManager::new(1024)
+    }
+
+    #[test]
+    fn populate_allocates_contiguous_pfns() {
+        let mut m = mm();
+        let d = DomId(1);
+        let first = m.populate(d, 4).unwrap();
+        assert_eq!(first, Pfn(0));
+        let second = m.populate(d, 2).unwrap();
+        assert_eq!(second, Pfn(4));
+        assert_eq!(m.owned_frames(d), 6);
+        assert_eq!(m.free_frames(), 1024 - 6);
+    }
+
+    #[test]
+    fn populate_fails_when_exhausted() {
+        let mut m = MemoryManager::new(8);
+        let d = DomId(1);
+        m.populate(d, 8).unwrap();
+        let err = m.populate(d, 1).unwrap_err();
+        assert!(matches!(err, HvError::Memory(MemError::OutOfFrames)));
+    }
+
+    #[test]
+    fn translate_and_ownership() {
+        let mut m = mm();
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 2).unwrap();
+        m.populate(b, 2).unwrap();
+        let mfn_a = m.translate(a, Pfn(0)).unwrap();
+        let mfn_b = m.translate(b, Pfn(0)).unwrap();
+        assert_ne!(
+            mfn_a, mfn_b,
+            "same PFN in different domains maps to different MFNs"
+        );
+        assert_eq!(m.owner(mfn_a).unwrap(), a);
+        assert_eq!(m.owner(mfn_b).unwrap(), b);
+    }
+
+    #[test]
+    fn translate_rejects_unmapped_pfn() {
+        let mut m = mm();
+        m.populate(DomId(1), 1).unwrap();
+        assert!(m.translate(DomId(1), Pfn(5)).is_err());
+        assert!(m.translate(DomId(9), Pfn(0)).is_err());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        m.write(d, Pfn(0), b"start-info").unwrap();
+        assert_eq!(m.read(d, Pfn(0)).unwrap(), b"start-info");
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        let big = vec![0u8; PAGE_SIZE + 1];
+        assert!(m.write(d, Pfn(0), &big).is_err());
+    }
+
+    #[test]
+    fn write_sets_dirty_and_take_dirty_clears() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 3).unwrap();
+        m.write(d, Pfn(1), b"x").unwrap();
+        m.write(d, Pfn(2), b"y").unwrap();
+        let dirty = m.take_dirty(d);
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(dirty[0].0, Pfn(1));
+        assert!(m.take_dirty(d).is_empty(), "dirty bits cleared");
+    }
+
+    #[test]
+    fn release_frees_unmapped_frames() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 10).unwrap();
+        assert_eq!(m.release_domain(d), 10);
+        assert_eq!(m.free_frames(), 1024);
+        assert_eq!(m.owned_frames(d), 0);
+    }
+
+    #[test]
+    fn release_leaks_granted_frames() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 3).unwrap();
+        let mfn = m.translate(d, Pfn(0)).unwrap();
+        m.inc_grant_mapping(mfn).unwrap();
+        assert_eq!(m.release_domain(d), 2, "granted frame not reclaimed");
+    }
+
+    #[test]
+    fn mapping_counts() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        let mfn = m.translate(d, Pfn(0)).unwrap();
+        assert_eq!(m.mapping_count(mfn).unwrap(), 0);
+        m.inc_grant_mapping(mfn).unwrap();
+        m.inc_foreign_mapping(mfn).unwrap();
+        assert_eq!(m.mapping_count(mfn).unwrap(), 2);
+        m.dec_grant_mapping(mfn).unwrap();
+        assert_eq!(m.mapping_count(mfn).unwrap(), 1);
+    }
+
+    #[test]
+    fn p2m_entries_sorted() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 5).unwrap();
+        let entries = m.p2m_entries(d);
+        assert_eq!(entries.len(), 5);
+        for (i, (pfn, _)) in entries.iter().enumerate() {
+            assert_eq!(pfn.0, i as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sharing_tests {
+    use super::*;
+
+    /// Two domains with identical page contents.
+    fn twins() -> (MemoryManager, DomId, DomId) {
+        let mut m = MemoryManager::new(1024);
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 8).unwrap();
+        m.populate(b, 8).unwrap();
+        for pfn in 0..4u64 {
+            m.write(a, Pfn(pfn), b"common-kernel-page").unwrap();
+            m.write(b, Pfn(pfn), b"common-kernel-page").unwrap();
+        }
+        m.write(a, Pfn(4), b"a-private").unwrap();
+        m.write(b, Pfn(4), b"b-private").unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn share_identical_frees_duplicates() {
+        let (mut m, a, b) = twins();
+        let free_before = m.free_frames();
+        let freed = m.share_identical();
+        // All 8 identical pages (4 per domain) collapse onto 1 canonical
+        // frame — dedup merges within a domain as well as across.
+        assert_eq!(freed, 7, "eight identical pages merged to one");
+        assert_eq!(m.free_frames(), free_before + 7);
+        assert_eq!(m.shared_frames(), 1, "one canonical frame, shared 8 ways");
+        // Both domains still read the same contents.
+        for pfn in 0..4u64 {
+            assert_eq!(m.read(a, Pfn(pfn)).unwrap(), b"common-kernel-page");
+            assert_eq!(m.read(b, Pfn(pfn)).unwrap(), b"common-kernel-page");
+        }
+        // Private pages untouched.
+        assert_eq!(m.read(a, Pfn(4)).unwrap(), b"a-private");
+        assert_eq!(m.read(b, Pfn(4)).unwrap(), b"b-private");
+    }
+
+    #[test]
+    fn write_breaks_sharing_copy_on_write() {
+        let (mut m, a, b) = twins();
+        m.share_identical();
+        m.write(a, Pfn(0), b"a-modified").unwrap();
+        assert_eq!(m.read(a, Pfn(0)).unwrap(), b"a-modified");
+        assert_eq!(
+            m.read(b, Pfn(0)).unwrap(),
+            b"common-kernel-page",
+            "the peer's view is never affected"
+        );
+    }
+
+    #[test]
+    fn exclusive_mfn_on_private_frame_is_identity() {
+        let (mut m, a, _) = twins();
+        let before = m.translate(a, Pfn(4)).unwrap();
+        let after = m.exclusive_mfn(a, Pfn(4)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn exclusive_mfn_on_shared_frame_allocates() {
+        let (mut m, a, b) = twins();
+        m.share_identical();
+        let shared = m.translate(a, Pfn(1)).unwrap();
+        assert_eq!(shared, m.translate(b, Pfn(1)).unwrap());
+        let private = m.exclusive_mfn(a, Pfn(1)).unwrap();
+        assert_ne!(private, shared);
+        assert_eq!(m.translate(a, Pfn(1)).unwrap(), private);
+        assert_eq!(m.translate(b, Pfn(1)).unwrap(), shared);
+        // Contents preserved.
+        assert_eq!(m.read(a, Pfn(1)).unwrap(), b"common-kernel-page");
+    }
+
+    #[test]
+    fn release_domain_keeps_shared_frames_alive() {
+        let (mut m, a, b) = twins();
+        m.share_identical();
+        m.release_domain(a);
+        // B still reads its pages (the canonical frame lost only a's
+        // four references; b's four remain).
+        for pfn in 0..4u64 {
+            assert_eq!(m.read(b, Pfn(pfn)).unwrap(), b"common-kernel-page");
+        }
+        assert_eq!(m.shared_frames(), 1, "b's four PFNs still share the frame");
+        // Writes by b now CoW-break down to exclusivity one by one.
+        for pfn in 0..4u64 {
+            m.write(b, Pfn(pfn), b"rewritten").unwrap();
+        }
+        assert_eq!(m.shared_frames(), 0);
+    }
+
+    #[test]
+    fn granted_frames_are_not_dedup_candidates() {
+        let (mut m, a, _) = twins();
+        let mfn = m.translate(a, Pfn(0)).unwrap();
+        m.inc_grant_mapping(mfn).unwrap();
+        let freed = m.share_identical();
+        // Pfn(0) of a is pinned by the grant; the remaining 7 identical
+        // pages still merge onto one canonical frame.
+        assert_eq!(freed, 6);
+    }
+
+    #[test]
+    fn empty_pages_are_not_merged() {
+        let mut m = MemoryManager::new(64);
+        m.populate(DomId(1), 4).unwrap();
+        m.populate(DomId(2), 4).unwrap();
+        assert_eq!(
+            m.share_identical(),
+            0,
+            "zero pages carry no content to merge"
+        );
+    }
+
+    #[test]
+    fn repeated_dedup_is_idempotent() {
+        let (mut m, _, _) = twins();
+        assert_eq!(m.share_identical(), 7);
+        assert_eq!(m.share_identical(), 0);
+    }
+}
+
+#[cfg(test)]
+mod sharing_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dedup + arbitrary writes never let one domain's writes appear
+        /// in another domain's pages.
+        #[test]
+        fn cow_isolation(
+            writes in proptest::collection::vec((0u8..2, 0u64..6, 0u8..4), 0..40)
+        ) {
+            let mut m = MemoryManager::new(256);
+            let a = DomId(1);
+            let b = DomId(2);
+            m.populate(a, 6).unwrap();
+            m.populate(b, 6).unwrap();
+            // Identical baseline everywhere.
+            for pfn in 0..6u64 {
+                m.write(a, Pfn(pfn), b"base").unwrap();
+                m.write(b, Pfn(pfn), b"base").unwrap();
+            }
+            m.share_identical();
+            // Shadow state per domain.
+            let mut shadow = std::collections::HashMap::new();
+            for (who, pfn, val) in writes {
+                let dom = if who == 0 { a } else { b };
+                let data = vec![val; 8];
+                m.write(dom, Pfn(pfn), &data).unwrap();
+                shadow.insert((dom, pfn), data);
+            }
+            for dom in [a, b] {
+                for pfn in 0..6u64 {
+                    let expect = shadow
+                        .get(&(dom, pfn))
+                        .cloned()
+                        .unwrap_or_else(|| b"base".to_vec());
+                    prop_assert_eq!(m.read(dom, Pfn(pfn)).unwrap(), expect);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The Xoar privilege-assignment model (§3.1, Figure 3.1).
+//!
+//! A VM is configured as a shard via a `shard` block in its config file,
+//! which makes three kinds of capability assignable:
+//!
+//! 1. `assign_pci_device(PCI domain, bus, slot)` — direct hardware access;
+//! 2. `permit_hypercall(hypercall id)` — whitelisting individual privileged
+//!    hypercalls beyond the default unprivileged set;
+//! 3. `allow_delegation(guest id)` — delegating the shard's administrative
+//!    control to another VM (used for per-user toolstacks in private
+//!    clouds, §3.4.2).
+//!
+//! The [`PrivilegeSet`] records exactly these assignments plus the handful
+//! of hardware privileges (I/O ports, MMIO ranges, IRQ lines) that §5.8
+//! shows were implicitly granted to Dom0 by hard-coded checks in Xen.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::DomId;
+use crate::hypercall::HypercallId;
+
+/// Address of a device on the PCI bus: `(domain, bus, slot)` as in the
+/// paper's `assign_pci_device(PCI domain, bus, slot)` API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PciAddress {
+    /// PCI segment/domain.
+    pub domain: u16,
+    /// Bus number.
+    pub bus: u8,
+    /// Slot (device) number.
+    pub slot: u8,
+}
+
+impl PciAddress {
+    /// Creates a PCI address.
+    pub fn new(domain: u16, bus: u8, slot: u8) -> Self {
+        PciAddress { domain, bus, slot }
+    }
+}
+
+impl fmt::Display for PciAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}:{:02x}:{:02x}", self.domain, self.bus, self.slot)
+    }
+}
+
+/// An inclusive range of x86 I/O ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IoPortRange {
+    /// First port in the range.
+    pub start: u16,
+    /// Last port in the range (inclusive).
+    pub end: u16,
+}
+
+impl IoPortRange {
+    /// Creates a range; `start` must not exceed `end`.
+    pub fn new(start: u16, end: u16) -> Self {
+        assert!(start <= end, "inverted I/O port range");
+        IoPortRange { start, end }
+    }
+
+    /// Whether `port` lies within the range.
+    pub fn contains(&self, port: u16) -> bool {
+        (self.start..=self.end).contains(&port)
+    }
+}
+
+/// An MMIO region expressed in machine frame numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MmioRange {
+    /// First frame of the region.
+    pub start_mfn: u64,
+    /// Number of frames.
+    pub frames: u64,
+}
+
+impl MmioRange {
+    /// Whether `mfn` lies within the region.
+    pub fn contains(&self, mfn: u64) -> bool {
+        mfn >= self.start_mfn && mfn < self.start_mfn + self.frames
+    }
+}
+
+/// The complete set of extra privileges assigned to a domain.
+///
+/// An ordinary guest has `PrivilegeSet::default()`: no assigned devices, no
+/// privileged hypercalls, no delegation. Stock Xen's Dom0 is modelled by
+/// [`PrivilegeSet::dom0`], which holds everything — the "monolithic trust
+/// domain" of Figure 2.1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivilegeSet {
+    /// PCI devices passed through to this domain.
+    pub pci_devices: BTreeSet<PciAddress>,
+    /// Privileged hypercalls this domain may issue beyond the unprivileged
+    /// default set.
+    pub hypercalls: BTreeSet<HypercallId>,
+    /// Domains to which this shard's administration is delegated.
+    pub delegated_to: BTreeSet<DomId>,
+    /// I/O port ranges this domain may access.
+    pub io_ports: BTreeSet<IoPortRange>,
+    /// MMIO regions this domain may map.
+    pub mmio: BTreeSet<MmioRange>,
+    /// Physical IRQ lines routed to this domain.
+    pub irqs: BTreeSet<u32>,
+    /// Whether the domain may map arbitrary guest memory (the blanket
+    /// "Dom0 privilege"; in Xoar only the Builder holds this).
+    pub map_foreign_any: bool,
+}
+
+impl PrivilegeSet {
+    /// The blanket privilege set of stock Xen's Dom0.
+    pub fn dom0() -> Self {
+        PrivilegeSet {
+            map_foreign_any: true,
+            hypercalls: HypercallId::all_privileged().into_iter().collect(),
+            io_ports: [IoPortRange::new(0, u16::MAX)].into_iter().collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Implements `assign_pci_device` from Figure 3.1.
+    pub fn assign_pci_device(&mut self, addr: PciAddress) {
+        self.pci_devices.insert(addr);
+    }
+
+    /// Implements `permit_hypercall` from Figure 3.1.
+    pub fn permit_hypercall(&mut self, id: HypercallId) {
+        self.hypercalls.insert(id);
+    }
+
+    /// Implements `allow_delegation` from Figure 3.1.
+    pub fn allow_delegation(&mut self, guest: DomId) {
+        self.delegated_to.insert(guest);
+    }
+
+    /// Whether the domain may issue privileged hypercall `id`.
+    pub fn permits_hypercall(&self, id: HypercallId) -> bool {
+        !id.is_privileged() || self.hypercalls.contains(&id)
+    }
+
+    /// Whether the domain may access I/O port `port`.
+    pub fn permits_io_port(&self, port: u16) -> bool {
+        self.io_ports.iter().any(|r| r.contains(port))
+    }
+
+    /// Whether the domain may map MMIO frame `mfn`.
+    pub fn permits_mmio(&self, mfn: u64) -> bool {
+        self.mmio.iter().any(|r| r.contains(mfn))
+    }
+
+    /// Whether the set is completely empty (a plain guest).
+    pub fn is_unprivileged(&self) -> bool {
+        self.pci_devices.is_empty()
+            && self.hypercalls.is_empty()
+            && self.delegated_to.is_empty()
+            && self.io_ports.is_empty()
+            && self.mmio.is_empty()
+            && self.irqs.is_empty()
+            && !self.map_foreign_any
+    }
+
+    /// A coarse scalar measure of how much authority the set carries; used
+    /// by the security-evaluation crate to compare configurations.
+    pub fn authority_score(&self) -> u64 {
+        let mut score = 0u64;
+        score += self.pci_devices.len() as u64 * 10;
+        score += self
+            .hypercalls
+            .iter()
+            .map(|h| h.risk_weight() as u64)
+            .sum::<u64>();
+        score += self.delegated_to.len() as u64;
+        score += self.io_ports.len() as u64 * 2;
+        score += self.mmio.len() as u64 * 2;
+        score += self.irqs.len() as u64;
+        if self.map_foreign_any {
+            score += 100;
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_is_unprivileged() {
+        let p = PrivilegeSet::default();
+        assert!(p.is_unprivileged());
+        assert_eq!(p.authority_score(), 0);
+    }
+
+    #[test]
+    fn dom0_set_is_maximal() {
+        let p = PrivilegeSet::dom0();
+        assert!(p.map_foreign_any);
+        assert!(p.permits_io_port(0x3f8));
+        assert!(p.permits_hypercall(HypercallId::DomctlCreateDomain));
+        assert!(p.authority_score() > 100);
+    }
+
+    #[test]
+    fn figure_3_1_api() {
+        let mut p = PrivilegeSet::default();
+        p.assign_pci_device(PciAddress::new(0, 2, 0));
+        p.permit_hypercall(HypercallId::GnttabMapGrantRef);
+        p.allow_delegation(DomId(5));
+        assert!(p.pci_devices.contains(&PciAddress::new(0, 2, 0)));
+        assert!(p.permits_hypercall(HypercallId::GnttabMapGrantRef));
+        assert!(p.delegated_to.contains(&DomId(5)));
+        assert!(!p.is_unprivileged());
+    }
+
+    #[test]
+    fn unprivileged_hypercalls_always_permitted() {
+        let p = PrivilegeSet::default();
+        assert!(p.permits_hypercall(HypercallId::EvtchnSend));
+        assert!(!p.permits_hypercall(HypercallId::DomctlDestroyDomain));
+    }
+
+    #[test]
+    fn io_port_ranges() {
+        let r = IoPortRange::new(0x3f8, 0x3ff);
+        assert!(r.contains(0x3f8));
+        assert!(r.contains(0x3ff));
+        assert!(!r.contains(0x400));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_io_range_panics() {
+        IoPortRange::new(10, 5);
+    }
+
+    #[test]
+    fn mmio_ranges() {
+        let r = MmioRange {
+            start_mfn: 100,
+            frames: 4,
+        };
+        assert!(r.contains(100));
+        assert!(r.contains(103));
+        assert!(!r.contains(104));
+        assert!(!r.contains(99));
+    }
+
+    #[test]
+    fn pci_address_display() {
+        let a = PciAddress::new(0, 2, 1);
+        assert_eq!(a.to_string(), "0000:02:01");
+    }
+}

@@ -1,0 +1,332 @@
+//! Snapshot and rollback: microreboots without full reboots (§3.3).
+//!
+//! A shard calls `vm_snapshot()` once it has booted and initialized, *before*
+//! offering services over any external interface. The hypervisor records a
+//! lightweight copy-on-write image: subsequent writes mark frames dirty, and
+//! a rollback restores exactly the dirty frames from the image, making the
+//! cost of a microreboot proportional to the pages touched, not to the size
+//! of the VM.
+//!
+//! Side-effectful state that must survive rollbacks (open connections,
+//! renegotiated ring details for the "fast" restart path of Figure 6.3)
+//! is placed in a **recovery box** [Baker & Sullivan '92]: a designated
+//! PFN range excluded from restoration.
+
+use std::collections::HashMap;
+
+use crate::domain::DomId;
+use crate::error::{HvError, HvResult};
+use crate::memory::{MemoryManager, Pfn};
+
+/// A contiguous PFN range registered as a recovery box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryBox {
+    /// First PFN of the box.
+    pub start: Pfn,
+    /// Number of frames.
+    pub frames: u64,
+}
+
+impl RecoveryBox {
+    /// Whether `pfn` lies within the box.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        pfn.0 >= self.start.0 && pfn.0 < self.start.0 + self.frames
+    }
+}
+
+/// The snapshot image of one domain.
+#[derive(Debug, Clone)]
+pub struct SnapshotImage {
+    /// Frame contents at snapshot time, keyed by PFN.
+    pages: HashMap<u64, Vec<u8>>,
+    /// Recovery boxes excluded from rollback.
+    boxes: Vec<RecoveryBox>,
+    /// Simulation time at which the snapshot was taken (ns).
+    pub taken_at_ns: u64,
+    /// Number of rollbacks performed from this image.
+    pub rollback_count: u64,
+}
+
+impl SnapshotImage {
+    /// Number of pages captured in the image.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether `pfn` is shielded by a recovery box.
+    pub fn in_recovery_box(&self, pfn: Pfn) -> bool {
+        self.boxes.iter().any(|b| b.contains(pfn))
+    }
+}
+
+/// Manages snapshot images for all domains.
+#[derive(Debug, Default)]
+pub struct SnapshotManager {
+    images: HashMap<DomId, SnapshotImage>,
+    /// Pending recovery-box registrations for domains that have not yet
+    /// snapshotted.
+    pending_boxes: HashMap<DomId, Vec<RecoveryBox>>,
+}
+
+impl SnapshotManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a recovery box for `dom`. Must be called before
+    /// [`SnapshotManager::snapshot`]; boxes registered afterwards apply to
+    /// the *next* snapshot.
+    pub fn register_recovery_box(&mut self, dom: DomId, rbox: RecoveryBox) {
+        self.pending_boxes.entry(dom).or_default().push(rbox);
+    }
+
+    /// Takes a snapshot of `dom`: captures the contents of every frame in
+    /// its pseudo-physical map and clears the dirty tracking so subsequent
+    /// writes are recorded as CoW deltas.
+    pub fn snapshot(&mut self, dom: DomId, mem: &mut MemoryManager, now_ns: u64) -> HvResult<()> {
+        let entries = mem.p2m_entries(dom);
+        if entries.is_empty() {
+            return Err(HvError::Snapshot(format!(
+                "{dom} has no populated memory to snapshot"
+            )));
+        }
+        let mut pages = HashMap::with_capacity(entries.len());
+        for (pfn, mfn) in &entries {
+            pages.insert(pfn.0, mem.read_mfn(*mfn)?);
+        }
+        // Clear dirty bits: the snapshot defines the new baseline.
+        let _ = mem.take_dirty(dom);
+        let boxes = self.pending_boxes.get(&dom).cloned().unwrap_or_default();
+        self.images.insert(
+            dom,
+            SnapshotImage {
+                pages,
+                boxes,
+                taken_at_ns: now_ns,
+                rollback_count: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Rolls `dom` back to its snapshot image.
+    ///
+    /// Only frames dirtied since the snapshot are restored (the CoW
+    /// optimisation that makes microreboots cheap), and frames inside a
+    /// recovery box are skipped. Returns the number of frames restored.
+    pub fn rollback(&mut self, dom: DomId, mem: &mut MemoryManager) -> HvResult<u64> {
+        let image = self
+            .images
+            .get_mut(&dom)
+            .ok_or_else(|| HvError::Snapshot(format!("{dom} has no snapshot")))?;
+        let dirty = mem.take_dirty(dom);
+        let mut restored = 0;
+        for (pfn, mfn) in dirty {
+            if image.in_recovery_box(pfn) {
+                continue;
+            }
+            let original = image.pages.get(&pfn.0).cloned().unwrap_or_default();
+            mem.write_mfn(mfn, &original)?;
+            restored += 1;
+        }
+        // Restoration writes re-dirty the frames; clear them so the next
+        // rollback only touches genuinely new writes.
+        let _ = mem.take_dirty(dom);
+        image.rollback_count += 1;
+        Ok(restored)
+    }
+
+    /// Whether `dom` has a snapshot image.
+    pub fn has_snapshot(&self, dom: DomId) -> bool {
+        self.images.contains_key(&dom)
+    }
+
+    /// Read-only access to a domain's image.
+    pub fn image(&self, dom: DomId) -> Option<&SnapshotImage> {
+        self.images.get(&dom)
+    }
+
+    /// Discards a domain's snapshot and pending boxes (domain death).
+    pub fn discard(&mut self, dom: DomId) {
+        self.images.remove(&dom);
+        self.pending_boxes.remove(&dom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SnapshotManager, MemoryManager, DomId) {
+        let mut mem = MemoryManager::new(1024);
+        let dom = DomId(7);
+        mem.populate(dom, 8).unwrap();
+        (SnapshotManager::new(), mem, dom)
+    }
+
+    #[test]
+    fn snapshot_captures_all_pages() {
+        let (mut sm, mut mem, dom) = setup();
+        mem.write(dom, Pfn(0), b"boot").unwrap();
+        sm.snapshot(dom, &mut mem, 100).unwrap();
+        let img = sm.image(dom).unwrap();
+        assert_eq!(img.page_count(), 8);
+        assert_eq!(img.taken_at_ns, 100);
+    }
+
+    #[test]
+    fn snapshot_of_empty_domain_fails() {
+        let mut sm = SnapshotManager::new();
+        let mut mem = MemoryManager::new(16);
+        assert!(sm.snapshot(DomId(9), &mut mem, 0).is_err());
+    }
+
+    #[test]
+    fn rollback_restores_dirty_pages_only() {
+        let (mut sm, mut mem, dom) = setup();
+        mem.write(dom, Pfn(0), b"initialized").unwrap();
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        // Attacker scribbles over two pages.
+        mem.write(dom, Pfn(0), b"pwned").unwrap();
+        mem.write(dom, Pfn(3), b"implant").unwrap();
+        let restored = sm.rollback(dom, &mut mem).unwrap();
+        assert_eq!(restored, 2, "only the dirty pages are copied back");
+        assert_eq!(mem.read(dom, Pfn(0)).unwrap(), b"initialized");
+        assert_eq!(mem.read(dom, Pfn(3)).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rollback_without_snapshot_fails() {
+        let (mut sm, mut mem, dom) = setup();
+        assert!(sm.rollback(dom, &mut mem).is_err());
+    }
+
+    #[test]
+    fn repeated_rollbacks_restore_repeatedly() {
+        let (mut sm, mut mem, dom) = setup();
+        mem.write(dom, Pfn(1), b"good").unwrap();
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        for i in 0..5 {
+            mem.write(dom, Pfn(1), format!("bad{i}").as_bytes())
+                .unwrap();
+            sm.rollback(dom, &mut mem).unwrap();
+            assert_eq!(mem.read(dom, Pfn(1)).unwrap(), b"good");
+        }
+        assert_eq!(sm.image(dom).unwrap().rollback_count, 5);
+    }
+
+    #[test]
+    fn second_rollback_is_cheap_when_nothing_dirtied() {
+        let (mut sm, mut mem, dom) = setup();
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        mem.write(dom, Pfn(2), b"z").unwrap();
+        assert_eq!(sm.rollback(dom, &mut mem).unwrap(), 1);
+        // Nothing written since: zero pages to restore.
+        assert_eq!(sm.rollback(dom, &mut mem).unwrap(), 0);
+    }
+
+    #[test]
+    fn recovery_box_survives_rollback() {
+        let (mut sm, mut mem, dom) = setup();
+        sm.register_recovery_box(
+            dom,
+            RecoveryBox {
+                start: Pfn(6),
+                frames: 2,
+            },
+        );
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        // Connection state lands in the recovery box; attack state outside.
+        mem.write(dom, Pfn(6), b"open-connections").unwrap();
+        mem.write(dom, Pfn(1), b"attack-state").unwrap();
+        sm.rollback(dom, &mut mem).unwrap();
+        assert_eq!(
+            mem.read(dom, Pfn(6)).unwrap(),
+            b"open-connections",
+            "recovery box persists across rollback"
+        );
+        assert_eq!(mem.read(dom, Pfn(1)).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn new_snapshot_replaces_old() {
+        let (mut sm, mut mem, dom) = setup();
+        mem.write(dom, Pfn(0), b"v1").unwrap();
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        mem.write(dom, Pfn(0), b"v2").unwrap();
+        sm.snapshot(dom, &mut mem, 50).unwrap();
+        mem.write(dom, Pfn(0), b"garbage").unwrap();
+        sm.rollback(dom, &mut mem).unwrap();
+        assert_eq!(
+            mem.read(dom, Pfn(0)).unwrap(),
+            b"v2",
+            "rolls back to latest image"
+        );
+    }
+
+    #[test]
+    fn discard_removes_image() {
+        let (mut sm, mut mem, dom) = setup();
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        assert!(sm.has_snapshot(dom));
+        sm.discard(dom);
+        assert!(!sm.has_snapshot(dom));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any sequence of writes followed by a rollback, every page
+        /// outside recovery boxes equals its snapshot-time contents.
+        #[test]
+        fn rollback_restores_baseline(
+            writes in proptest::collection::vec((0u64..8, proptest::collection::vec(any::<u8>(), 0..32)), 0..20)
+        ) {
+            let mut mem = MemoryManager::new(64);
+            let dom = DomId(1);
+            mem.populate(dom, 8).unwrap();
+            let mut sm = SnapshotManager::new();
+            // Baseline contents.
+            for pfn in 0..8u64 {
+                mem.write(dom, Pfn(pfn), format!("base{pfn}").as_bytes()).unwrap();
+            }
+            sm.snapshot(dom, &mut mem, 0).unwrap();
+            for (pfn, data) in &writes {
+                mem.write(dom, Pfn(*pfn), data).unwrap();
+            }
+            sm.rollback(dom, &mut mem).unwrap();
+            for pfn in 0..8u64 {
+                prop_assert_eq!(
+                    mem.read(dom, Pfn(pfn)).unwrap(),
+                    format!("base{pfn}").into_bytes()
+                );
+            }
+        }
+
+        /// The number of restored frames never exceeds the number of
+        /// distinct pages written (CoW proportionality).
+        #[test]
+        fn rollback_cost_proportional_to_dirty(
+            pfns in proptest::collection::vec(0u64..8, 0..30)
+        ) {
+            let mut mem = MemoryManager::new(64);
+            let dom = DomId(1);
+            mem.populate(dom, 8).unwrap();
+            let mut sm = SnapshotManager::new();
+            sm.snapshot(dom, &mut mem, 0).unwrap();
+            for pfn in &pfns {
+                mem.write(dom, Pfn(*pfn), b"dirty").unwrap();
+            }
+            let mut distinct = pfns.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let restored = sm.rollback(dom, &mut mem).unwrap();
+            prop_assert_eq!(restored, distinct.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Attack replay and containment analysis (§6.2, §6.2.1).
+//!
+//! Each guest-originated vulnerability is replayed against a live
+//! [`Platform`]: the attack lands in the component its vector names, the
+//! attacker gains that component's privileges, and the analysis computes
+//! the blast radius — which domains' memory the attacker can now touch,
+//! which guests' traffic it can intercept, and whether the whole host
+//! falls.
+//!
+//! On stock Xen every control-VM vector lands in Dom0, so every such
+//! exploit is a full-platform compromise. On Xoar the same exploit is
+//! confined to one shard, and the verdicts of §6.2.1 emerge from the
+//! actual privilege state rather than from assertion.
+
+use std::collections::BTreeSet;
+
+use xoar_core::platform::{Platform, PlatformMode};
+use xoar_hypervisor::{DomId, DomainState};
+
+use crate::corpus::{AttackVector, Vulnerability};
+
+/// The blast radius of a successful exploit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlastRadius {
+    /// The domain the attacker now controls.
+    pub compromised: DomId,
+    /// Domains whose memory the attacker can read or write (foreign
+    /// mapping rights and writable grant mappings).
+    pub memory_of: BTreeSet<DomId>,
+    /// Guests whose I/O the attacker can intercept (served by the
+    /// compromised component).
+    pub traffic_of: BTreeSet<DomId>,
+    /// Whether the attacker can manage (create/destroy) other VMs.
+    pub can_manage_vms: bool,
+    /// Whether the compromise takes down the entire host.
+    pub host_compromised: bool,
+}
+
+/// The §6.2.1 verdict classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The attacker owns the platform (stock Xen control-VM attacks).
+    FullPlatformCompromise,
+    /// Contained entirely to the component; "no rights over any other
+    /// VM" beyond the attacking guest itself.
+    ContainedToComponent,
+    /// Limited to the guests sharing the compromised component.
+    LimitedToSharers,
+    /// Mitigable by deprivileging guests (debug registers) — on either
+    /// platform.
+    Mitigable,
+    /// Already fixed in the baseline version (the XenStore bugs).
+    FixedInBaseline,
+    /// Not protected: the hypervisor itself is compromised.
+    NotProtected,
+}
+
+/// Resolves which domain an attack vector lands in on `platform`,
+/// launched from `attacker`.
+pub fn landing_domain(platform: &Platform, attacker: DomId, vector: AttackVector) -> Option<DomId> {
+    let s = &platform.services;
+    match vector {
+        AttackVector::DeviceEmulation => {
+            // The attacker's own device model (stub domain on Xoar, Dom0
+            // on stock Xen).
+            platform.guest(attacker).and_then(|g| g.qemu).or({
+                // PV guests have no device model; the vector is moot, but
+                // the census replays it against a platform with HVM
+                // guests, so fall back to the platform's model host.
+                match platform.mode {
+                    PlatformMode::StockXen => Some(s.builder),
+                    PlatformMode::Xoar => None,
+                }
+            })
+        }
+        AttackVector::VirtualizedDevice => platform.guest(attacker).and_then(|g| g.netback),
+        AttackVector::Management => platform.guest(attacker).map(|g| g.toolstack),
+        AttackVector::XenStore => Some(s.xenstore),
+        AttackVector::DebugRegister | AttackVector::Hypervisor => None,
+    }
+}
+
+/// Computes the blast radius of controlling `dom` on `platform`.
+pub fn blast_radius(platform: &Platform, dom: DomId) -> BlastRadius {
+    let d = platform.hv.domain(dom).expect("live domain");
+    let mut memory_of = BTreeSet::new();
+    let mut traffic_of = BTreeSet::new();
+
+    // Blanket foreign mapping: every live domain's memory.
+    if d.privileges.map_foreign_any {
+        for id in platform.hv.domain_ids() {
+            if id != dom {
+                memory_of.insert(id);
+            }
+        }
+    }
+    // Targeted mapping rights (QEMU stub model).
+    for id in &d.privileged_for {
+        if platform
+            .hv
+            .domain(*id)
+            .is_ok_and(|t| t.state != DomainState::Dead)
+        {
+            memory_of.insert(*id);
+        }
+    }
+    // Writable grants mapped from other domains (ring pages): these give
+    // data-plane access, counted as traffic interception below.
+    for g in platform.guests() {
+        if g.netback == Some(dom) || g.blkback == Some(dom) {
+            traffic_of.insert(g.dom);
+        }
+        if g.toolstack == dom {
+            traffic_of.insert(g.dom);
+        }
+    }
+    let can_manage_vms = d.privileges.map_foreign_any
+        || platform.guests().iter().any(|g| g.toolstack == dom)
+        || !d.privileges.delegated_to.is_empty() && platform.services.toolstacks.contains(&dom);
+    let host_compromised = dom.is_dom0() && platform.hv.dom0_failure_is_fatal
+        || d.privileges.map_foreign_any && platform.mode == PlatformMode::StockXen;
+
+    BlastRadius {
+        compromised: dom,
+        memory_of,
+        traffic_of,
+        can_manage_vms,
+        host_compromised,
+    }
+}
+
+/// Replays one vulnerability from `attacker` and classifies the outcome.
+pub fn replay(platform: &Platform, attacker: DomId, vuln: &Vulnerability) -> Verdict {
+    if vuln.fixed_in_baseline {
+        return Verdict::FixedInBaseline;
+    }
+    match vuln.vector {
+        AttackVector::Hypervisor => Verdict::NotProtected,
+        AttackVector::DebugRegister => Verdict::Mitigable,
+        vector => {
+            let Some(dom) = landing_domain(platform, attacker, vector) else {
+                return Verdict::ContainedToComponent;
+            };
+            let radius = blast_radius(platform, dom);
+            if radius.host_compromised {
+                return Verdict::FullPlatformCompromise;
+            }
+            // Does the attacker reach anything beyond itself?
+            let beyond_self = |set: &BTreeSet<DomId>| set.iter().any(|d| *d != attacker);
+            if beyond_self(&radius.memory_of) {
+                // Memory of other domains: on Xoar only the Builder has
+                // that, and it is not on any attack vector.
+                Verdict::FullPlatformCompromise
+            } else if radius.traffic_of.iter().any(|d| *d != attacker) {
+                Verdict::LimitedToSharers
+            } else {
+                Verdict::ContainedToComponent
+            }
+        }
+    }
+}
+
+/// The containment table: per-verdict counts for one platform.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContainmentReport {
+    /// (verdict, count) pairs in a stable order.
+    pub counts: Vec<(Verdict, usize)>,
+}
+
+/// Replays every guest-originated Xen attack from `attacker` against
+/// `platform` and tabulates the verdicts.
+pub fn evaluate(
+    platform: &Platform,
+    attacker: DomId,
+    corpus: &[Vulnerability],
+) -> ContainmentReport {
+    use Verdict::*;
+    let mut counts = vec![
+        (FullPlatformCompromise, 0),
+        (ContainedToComponent, 0),
+        (LimitedToSharers, 0),
+        (Mitigable, 0),
+        (FixedInBaseline, 0),
+        (NotProtected, 0),
+    ];
+    for vuln in corpus
+        .iter()
+        .filter(|v| v.guest_originated && v.targets_xen && v.attack_count > 0)
+    {
+        let verdict = replay(platform, attacker, vuln);
+        counts
+            .iter_mut()
+            .find(|(v, _)| *v == verdict)
+            .expect("all verdicts enumerated")
+            .1 += vuln.attack_count as usize;
+    }
+    ContainmentReport { counts }
+}
+
+impl ContainmentReport {
+    /// Count for one verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == v)
+            .map_or(0, |(_, c)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use xoar_core::platform::{GuestConfig, XoarConfig};
+
+    fn hvm_guest(p: &mut Platform, name: &str) -> DomId {
+        let ts = p.services.toolstacks[0];
+        let mut cfg = GuestConfig::evaluation_guest(name);
+        cfg.hvm = true;
+        p.create_guest(ts, cfg).unwrap()
+    }
+
+    #[test]
+    fn stock_xen_control_vm_attacks_own_the_host() {
+        let mut p = Platform::stock_xen();
+        let attacker = hvm_guest(&mut p, "attacker");
+        let _victim = hvm_guest(&mut p, "victim");
+        for vector in [
+            AttackVector::DeviceEmulation,
+            AttackVector::VirtualizedDevice,
+            AttackVector::Management,
+            AttackVector::XenStore,
+        ] {
+            let dom = landing_domain(&p, attacker, vector).unwrap();
+            assert_eq!(dom, DomId::DOM0, "{vector:?} lands in Dom0");
+            let radius = blast_radius(&p, dom);
+            assert!(
+                radius.host_compromised,
+                "{vector:?} owns the host on stock Xen"
+            );
+        }
+    }
+
+    #[test]
+    fn xoar_device_emulation_contained() {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let attacker = hvm_guest(&mut p, "attacker");
+        let victim = hvm_guest(&mut p, "victim");
+        let qemu = landing_domain(&p, attacker, AttackVector::DeviceEmulation).unwrap();
+        let radius = blast_radius(&p, qemu);
+        assert!(!radius.host_compromised);
+        // "An attacker exploiting a vulnerability in the emulated device
+        // model will now have the full privileges of the QemuVM … and has
+        // no rights over any other VM."
+        assert_eq!(radius.memory_of.iter().collect::<Vec<_>>(), vec![&attacker]);
+        assert!(!radius.memory_of.contains(&victim));
+        assert!(!radius.can_manage_vms);
+    }
+
+    #[test]
+    fn xoar_netback_compromise_limited_to_sharers() {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let attacker = hvm_guest(&mut p, "attacker");
+        let victim = hvm_guest(&mut p, "victim");
+        let nb = landing_domain(&p, attacker, AttackVector::VirtualizedDevice).unwrap();
+        let radius = blast_radius(&p, nb);
+        assert!(!radius.host_compromised);
+        // "compromising NetBack would allow intercepting the network
+        // traffic of another VM relying on the same NetBack, but not
+        // reading or writing its memory."
+        assert!(radius.traffic_of.contains(&victim));
+        assert!(radius.memory_of.is_empty());
+    }
+
+    #[test]
+    fn section_6_2_1_verdicts_on_xoar() {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let attacker = hvm_guest(&mut p, "attacker");
+        let _victim = hvm_guest(&mut p, "victim");
+        let report = evaluate(&p, attacker, &corpus::corpus());
+        // 7 device-emulation attacks entirely contained.
+        assert_eq!(report.count(Verdict::ContainedToComponent), 7);
+        // "The 6 attacks on the virtualized device layer and the 1 attack
+        // on the toolstack would yield control only over those VMs that
+        // shared the same BlkBack, NetBack and Toolstack components."
+        assert_eq!(report.count(Verdict::LimitedToSharers), 7);
+        // 2 debug-register exploits mitigable.
+        assert_eq!(report.count(Verdict::Mitigable), 2);
+        // 2 XenStore bugs already fixed.
+        assert_eq!(report.count(Verdict::FixedInBaseline), 2);
+        // 1 hypervisor exploit not protected.
+        assert_eq!(report.count(Verdict::NotProtected), 1);
+        // Nothing yields a full platform compromise on Xoar.
+        assert_eq!(report.count(Verdict::FullPlatformCompromise), 0);
+    }
+
+    #[test]
+    fn same_attacks_on_stock_xen_are_catastrophic() {
+        let mut p = Platform::stock_xen();
+        let attacker = hvm_guest(&mut p, "attacker");
+        let report = evaluate(&p, attacker, &corpus::corpus());
+        // All 14 control-VM attacks (7 emulation + 6 virtualized-device +
+        // 1 toolstack) own the host on stock Xen.
+        assert_eq!(report.count(Verdict::FullPlatformCompromise), 14);
+        assert_eq!(report.count(Verdict::ContainedToComponent), 0);
+        assert_eq!(report.count(Verdict::LimitedToSharers), 0);
+    }
+
+    #[test]
+    fn toolstack_compromise_reaches_only_its_vms() {
+        let mut p = Platform::xoar(XoarConfig {
+            toolstacks: 2,
+            ..Default::default()
+        });
+        let ts1 = p.services.toolstacks[0];
+        let ts2 = p.services.toolstacks[1];
+        let g1 = p
+            .create_guest(ts1, GuestConfig::evaluation_guest("a"))
+            .unwrap();
+        let g2 = p
+            .create_guest(ts2, GuestConfig::evaluation_guest("b"))
+            .unwrap();
+        let radius = blast_radius(&p, ts1);
+        assert!(radius.traffic_of.contains(&g1));
+        assert!(
+            !radius.traffic_of.contains(&g2),
+            "other toolstack's guests unreachable"
+        );
+        assert!(radius.can_manage_vms);
+        assert!(!radius.host_compromised);
+    }
+
+    #[test]
+    fn builder_is_the_remaining_crown_jewel() {
+        // §6.2: only the Builder retains arbitrary memory access — the
+        // analysis must reflect that it is the one shard whose compromise
+        // would be platform-fatal, which is why it runs nanOS.
+        let mut p = Platform::xoar(XoarConfig::default());
+        let _g = hvm_guest(&mut p, "g");
+        let radius = blast_radius(&p, p.services.builder);
+        assert!(!radius.memory_of.is_empty());
+        assert!(radius.can_manage_vms);
+        // But no §6.2.1 attack vector lands in the Builder.
+        for vector in [
+            AttackVector::DeviceEmulation,
+            AttackVector::VirtualizedDevice,
+            AttackVector::Management,
+            AttackVector::XenStore,
+        ] {
+            assert_ne!(
+                landing_domain(&p, DomId(99), vector),
+                Some(p.services.builder)
+            );
+        }
+    }
+}

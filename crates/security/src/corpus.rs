@@ -1,0 +1,285 @@
+//! The vulnerability corpus (§2.2.1).
+//!
+//! The paper analysed the CERT registry and VMware's advisories for
+//! Type-1-hypervisor vulnerabilities and found **44** in total, of which
+//! **23** originate from within guest VMs against Xen: 12 buffer
+//! overflows permitting arbitrary code execution with elevated
+//! privileges and 11 denial-of-service attacks. By vector: 14 in the
+//! device-emulation layer, 4 in the virtualized-device layer, 4 in
+//! management components, and 1 in the hypervisor ("ironically in the
+//! security extensions"). 22 of the 23 land in control-VM service
+//! components.
+//!
+//! §6.2.1 then evaluates Xoar against the subset with reproducible
+//! vectors: 7 device-emulation attacks, 6 virtualized-device attacks,
+//! 1 toolstack attack, 2 debug-register exploits, 2 XenStore-write
+//! exploits, and the hypervisor exploit.
+//!
+//! The corpus below encodes synthetic entries with exactly those
+//! marginals; identifiers are synthetic (`XVE-*`) because the thesis does
+//! not enumerate the underlying CVE numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Where an attack lands: the component whose interface is exploited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// The QEMU device-emulation layer.
+    DeviceEmulation,
+    /// The paravirtual split-driver layer (NetBack/BlkBack).
+    VirtualizedDevice,
+    /// Management components (toolstack).
+    Management,
+    /// XenStore write paths.
+    XenStore,
+    /// Hardware debug registers exposed to guests.
+    DebugRegister,
+    /// The hypervisor itself.
+    Hypervisor,
+}
+
+/// What a successful exploit yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackEffect {
+    /// Arbitrary code execution with the component's privileges.
+    CodeExecution,
+    /// Denial of service of the component.
+    DenialOfService,
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vulnerability {
+    /// Synthetic identifier.
+    pub id: String,
+    /// Exploited interface.
+    pub vector: AttackVector,
+    /// Effect on success.
+    pub effect: AttackEffect,
+    /// Whether the attack originates from within a guest VM (the threat
+    /// model of §2.2). Non-guest-originated entries (e.g. VMware
+    /// host-OS-assisted attacks) are retained for the census totals but
+    /// excluded from the containment replay.
+    pub guest_originated: bool,
+    /// Whether the attack targets Xen (vs another Type-1 platform).
+    pub targets_xen: bool,
+    /// Whether the Xen version the paper used had already fixed it
+    /// (the two XenStore-write bugs).
+    pub fixed_in_baseline: bool,
+    /// Number of distinct reproducible attacks derived from this
+    /// vulnerability. §2.2.1 counts *vulnerabilities* (14/4/4/1 by
+    /// vector); §6.2.1 replays *attacks* (7/6/1/2/2/1) — some
+    /// vulnerabilities yield several attacks, others none that can be
+    /// reproduced.
+    pub attack_count: u32,
+}
+
+/// Builds the full 44-entry corpus with the paper's marginals.
+pub fn corpus() -> Vec<Vulnerability> {
+    let mut v = Vec::new();
+    let mut n = 0;
+    let mut push = |vector: AttackVector,
+                    effect: AttackEffect,
+                    guest: bool,
+                    xen: bool,
+                    fixed: bool,
+                    attacks: u32,
+                    v: &mut Vec<Vulnerability>| {
+        n += 1;
+        v.push(Vulnerability {
+            id: format!("XVE-{n:03}"),
+            vector,
+            effect,
+            guest_originated: guest,
+            targets_xen: xen,
+            fixed_in_baseline: fixed,
+            attack_count: attacks,
+        });
+    };
+
+    use AttackEffect::*;
+    use AttackVector::*;
+    // --- The 23 guest-originated vulnerabilities against Xen ---
+    // 14 device-emulation vector; 7 reproducible attacks (§6.2.1).
+    for i in 0..14 {
+        let effect = if i < 7 {
+            CodeExecution
+        } else {
+            DenialOfService
+        };
+        push(
+            DeviceEmulation,
+            effect,
+            true,
+            true,
+            false,
+            u32::from(i < 7),
+            &mut v,
+        );
+    }
+    // 4 virtualized-device vector; §6.2.1 replays 6 attacks on the layer
+    // (some vulnerabilities yield several distinct attacks).
+    for i in 0..4 {
+        let effect = if i < 2 {
+            CodeExecution
+        } else {
+            DenialOfService
+        };
+        push(
+            VirtualizedDevice,
+            effect,
+            true,
+            true,
+            false,
+            if i < 2 { 2 } else { 1 },
+            &mut v,
+        );
+    }
+    // 4 management-component vulnerabilities: 1 toolstack attack, the 2
+    // XenStore-write bugs (fixed in the baseline), 1 DoS without a
+    // reproducible exploit.
+    push(Management, CodeExecution, true, true, false, 1, &mut v);
+    push(XenStore, CodeExecution, true, true, true, 1, &mut v);
+    push(XenStore, DenialOfService, true, true, true, 1, &mut v);
+    push(Management, DenialOfService, true, true, false, 0, &mut v);
+    // 1 hypervisor exploit ("in the security extensions").
+    push(Hypervisor, CodeExecution, true, true, false, 1, &mut v);
+
+    // --- The 2 debug-register exploits (guest-originated, replayed in
+    // §6.2.1 as mitigable on either platform) ---
+    push(DebugRegister, CodeExecution, true, true, false, 1, &mut v);
+    push(DebugRegister, DenialOfService, true, true, false, 1, &mut v);
+
+    // --- The remaining 19 census entries: non-guest-originated or
+    // non-Xen (VMware advisories, administrative-interface attacks) ---
+    for i in 0..19 {
+        let vector = match i % 3 {
+            0 => DeviceEmulation,
+            1 => Management,
+            _ => VirtualizedDevice,
+        };
+        let effect = if i % 2 == 0 {
+            CodeExecution
+        } else {
+            DenialOfService
+        };
+        push(vector, effect, false, i % 4 == 0, false, 0, &mut v);
+    }
+    v
+}
+
+/// The census marginals of §2.2.1 computed over the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Census {
+    /// Total reported vulnerabilities.
+    pub total: usize,
+    /// Guest-originated attacks against Xen.
+    pub guest_vs_xen: usize,
+    /// Of those: arbitrary-code-execution entries.
+    pub code_execution: usize,
+    /// Of those: denial-of-service entries.
+    pub denial_of_service: usize,
+    /// Guest-vs-Xen entries landing in control-VM service components.
+    pub against_control_vm: usize,
+}
+
+/// Computes the census.
+pub fn census(corpus: &[Vulnerability]) -> Census {
+    let guest_xen: Vec<&Vulnerability> = corpus
+        .iter()
+        .filter(|v| v.guest_originated && v.targets_xen)
+        .filter(|v| v.vector != AttackVector::DebugRegister)
+        .collect();
+    Census {
+        total: corpus.len(),
+        guest_vs_xen: guest_xen.len(),
+        code_execution: guest_xen
+            .iter()
+            .filter(|v| v.effect == AttackEffect::CodeExecution)
+            .count(),
+        denial_of_service: guest_xen
+            .iter()
+            .filter(|v| v.effect == AttackEffect::DenialOfService)
+            .count(),
+        against_control_vm: guest_xen
+            .iter()
+            .filter(|v| v.vector != AttackVector::Hypervisor)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_paper_marginals() {
+        let c = census(&corpus());
+        assert_eq!(c.total, 44, "44 reported vulnerabilities");
+        assert_eq!(c.guest_vs_xen, 23, "23 originated from within guest VMs");
+        assert_eq!(c.code_execution, 12, "12 buffer overflows / code execution");
+        assert_eq!(c.denial_of_service, 11, "11 denial-of-service");
+        assert_eq!(
+            c.against_control_vm, 22,
+            "22 of 23 against control-VM services"
+        );
+    }
+
+    #[test]
+    fn vector_breakdown_matches_chapter_2() {
+        let all = corpus();
+        let guest_xen: Vec<_> = all
+            .iter()
+            .filter(|v| {
+                v.guest_originated && v.targets_xen && v.vector != AttackVector::DebugRegister
+            })
+            .collect();
+        let count = |vec: AttackVector| guest_xen.iter().filter(|v| v.vector == vec).count();
+        assert_eq!(count(AttackVector::DeviceEmulation), 14);
+        assert_eq!(count(AttackVector::VirtualizedDevice), 4);
+        assert_eq!(
+            count(AttackVector::Management) + count(AttackVector::XenStore),
+            4,
+            "4 in management components (incl. the XenStore bugs)"
+        );
+        assert_eq!(count(AttackVector::Hypervisor), 1);
+    }
+
+    #[test]
+    fn section_6_2_1_replay_set() {
+        let all = corpus();
+        let attacks = |vec: AttackVector| -> u32 {
+            all.iter()
+                .filter(|v| v.guest_originated && v.targets_xen && v.vector == vec)
+                .map(|v| v.attack_count)
+                .sum()
+        };
+        // "Xoar entirely contains the 7 device emulation attacks."
+        assert_eq!(attacks(AttackVector::DeviceEmulation), 7);
+        // "The 6 attacks on the virtualized device layer."
+        assert_eq!(attacks(AttackVector::VirtualizedDevice), 6);
+        // "The 1 attack on the toolstack."
+        assert_eq!(attacks(AttackVector::Management), 1);
+        // "2 exploits on debug registers."
+        assert_eq!(attacks(AttackVector::DebugRegister), 2);
+        // "2 exploits on XenStore write access … already … fixed."
+        assert_eq!(attacks(AttackVector::XenStore), 2);
+        let xenstore_fixed = all
+            .iter()
+            .filter(|v| v.vector == AttackVector::XenStore && v.fixed_in_baseline)
+            .count();
+        assert_eq!(xenstore_fixed, 2);
+        // The hypervisor exploit exists and is not fixed.
+        assert_eq!(attacks(AttackVector::Hypervisor), 1);
+    }
+
+    #[test]
+    fn ids_unique() {
+        let all = corpus();
+        let mut ids: Vec<&str> = all.iter().map(|v| v.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,118 @@
+//! Temporal attack surface quantification (§3.3).
+//!
+//! "Frequently resetting services to a known good state forces attackers
+//! to constantly re-compromise these components, and temporally limits
+//! the exposure to the end of the current execution cycle."
+//!
+//! For a component restarted every `T` seconds, an attacker who lands at
+//! a uniformly random instant holds the component for `U(0, T)` — an
+//! expected dwell of `T/2` — and must spend `t_exploit` of every cycle
+//! re-compromising before doing anything useful. This module computes
+//! those quantities plus the *useful occupation fraction*: the share of
+//! wall-clock time a persistent attacker actually controls a working
+//! foothold, which drops to zero once `t_exploit ≥ T`.
+
+/// Temporal-exposure figures for one restart policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalExposure {
+    /// Restart interval in seconds (`f64::INFINITY` = never restarted).
+    pub interval_s: f64,
+    /// Expected dwell time of a one-shot attacker, seconds.
+    pub expected_dwell_s: f64,
+    /// Worst-case dwell (a landing right after a restart), seconds.
+    pub max_dwell_s: f64,
+    /// For a persistent attacker who re-exploits after every restart:
+    /// fraction of time they hold a useful foothold.
+    pub occupation_fraction: f64,
+}
+
+/// Computes the exposure under restarts every `interval_s` seconds for an
+/// exploit that takes `exploit_s` seconds to land.
+pub fn exposure(interval_s: f64, exploit_s: f64) -> TemporalExposure {
+    assert!(interval_s > 0.0 && exploit_s >= 0.0);
+    if interval_s.is_infinite() {
+        // The long-lived service of stock Xen: "once compromised,
+        // attackers have essentially unlimited time".
+        return TemporalExposure {
+            interval_s,
+            expected_dwell_s: f64::INFINITY,
+            max_dwell_s: f64::INFINITY,
+            occupation_fraction: 1.0,
+        };
+    }
+    let useful = (interval_s - exploit_s).max(0.0);
+    TemporalExposure {
+        interval_s,
+        // A random landing sees the remaining cycle: mean T/2, but no
+        // more than the useful part of the cycle.
+        expected_dwell_s: (interval_s / 2.0).min(useful),
+        max_dwell_s: useful,
+        occupation_fraction: useful / interval_s,
+    }
+}
+
+/// The dwell-time reduction factor of restarting every `interval_s`
+/// relative to a `horizon_s`-long deployment without restarts.
+pub fn reduction_factor(interval_s: f64, horizon_s: f64) -> f64 {
+    assert!(interval_s > 0.0 && horizon_s > 0.0);
+    horizon_s / (interval_s / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_restarts_means_unlimited_dwell() {
+        let e = exposure(f64::INFINITY, 1.0);
+        assert!(e.expected_dwell_s.is_infinite());
+        assert_eq!(e.occupation_fraction, 1.0);
+    }
+
+    #[test]
+    fn ten_second_restarts_bound_dwell() {
+        let e = exposure(10.0, 0.5);
+        assert_eq!(e.max_dwell_s, 9.5);
+        assert_eq!(e.expected_dwell_s, 5.0);
+        assert!((e.occupation_fraction - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_exploits_are_starved_out() {
+        // An exploit chain needing 12 s never completes inside a 10 s
+        // cycle: the attacker holds nothing, ever.
+        let e = exposure(10.0, 12.0);
+        assert_eq!(e.max_dwell_s, 0.0);
+        assert_eq!(e.occupation_fraction, 0.0);
+        assert_eq!(e.expected_dwell_s, 0.0);
+    }
+
+    #[test]
+    fn occupation_shrinks_with_interval() {
+        let exploit = 2.0;
+        let occ: Vec<f64> = [60.0, 30.0, 10.0, 5.0, 3.0]
+            .iter()
+            .map(|i| exposure(*i, exploit).occupation_fraction)
+            .collect();
+        for w in occ.windows(2) {
+            assert!(
+                w[1] < w[0],
+                "more frequent restarts, less occupation: {occ:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_factor_vs_long_lived_service() {
+        // A 30-day deployment vs 10-second restarts: the expected dwell
+        // shrinks by ~500,000x.
+        let f = reduction_factor(10.0, 30.0 * 24.0 * 3600.0);
+        assert!((f - 518_400.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        exposure(0.0, 1.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # xoar-security
+//!
+//! The security evaluation of §6.2: the vulnerability census of §2.2.1,
+//! attack replay with blast-radius analysis, and TCB accounting.
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod corpus;
+pub mod freshness;
+pub mod surface;
+pub mod tcb;
+
+pub use containment::{blast_radius, evaluate, BlastRadius, ContainmentReport, Verdict};
+pub use corpus::{census, corpus, AttackVector, Vulnerability};
+pub use freshness::{exposure, TemporalExposure};
+pub use surface::{survey, ComponentSurface, SurfaceSurvey};
+pub use tcb::{tcb_of_guest, Component, TcbReport};

@@ -1,0 +1,14 @@
+//! # xoar-sim
+//!
+//! Discrete-event simulation engine and the Chapter 6 workloads.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod rng;
+pub mod tcp;
+pub mod workloads;
+
+pub use des::Engine;
+pub use rng::SimRng;
+pub use tcp::{simulate_transfer, Outage, TcpPath, TransferResult};

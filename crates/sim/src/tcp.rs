@@ -1,0 +1,341 @@
+//! A TCP throughput model with disconnection and recovery.
+//!
+//! Figures 6.3–6.5 hinge on how TCP flows react when NetBack microreboots
+//! break connectivity for 140–260 ms: segments are lost, the
+//! retransmission timer fires (with exponential backoff while the device
+//! is still down), and the congestion window collapses to slow start.
+//! "Resetting every 10 seconds causes an 8% drop in throughput … \[at\]
+//! every second \[a\] 58% drop."
+//!
+//! The model evolves a congestion window in discrete RTT rounds:
+//!
+//! * slow start below `ssthresh` (cwnd doubles per round), congestion
+//!   avoidance above (cwnd += 1 MSS per round);
+//! * cwnd is capped by the path bandwidth-delay product;
+//! * a connectivity break discards the in-flight window, arms the
+//!   retransmission timer with exponential backoff until the link
+//!   returns, then restarts from `RESTART_CWND` with halved ssthresh.
+//!
+//! This produces the paper's non-uniform degradation naturally: at long
+//! restart intervals the cost per break is dominated by the fixed RTO +
+//! ramp, while at 1-second intervals the window never leaves slow start
+//! and a large fraction of wall time is dead.
+
+/// Nanoseconds per second.
+pub const SEC: u64 = 1_000_000_000;
+
+/// TCP maximum segment size (bytes).
+pub const MSS: u64 = 1460;
+
+/// Initial congestion window, segments (RFC 5681-era Linux defaults).
+const INITIAL_CWND: u64 = 3;
+
+/// Congestion window after an RTO, segments.
+const RESTART_CWND: u64 = 1;
+
+/// Minimum retransmission timeout (Linux: 200 ms).
+const RTO_MIN_NS: u64 = 200_000_000;
+
+/// Maximum RTO backoff ceiling used by the model.
+const RTO_MAX_NS: u64 = 8 * SEC;
+
+/// Path parameters of one TCP flow.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpPath {
+    /// Round-trip time in nanoseconds (LAN: ~300 µs).
+    pub rtt_ns: u64,
+    /// Bottleneck bandwidth, bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl TcpPath {
+    /// The evaluation LAN: Gigabit Ethernet, sub-millisecond RTT.
+    pub fn gigabit_lan() -> Self {
+        TcpPath {
+            rtt_ns: 300_000,
+            bandwidth_bps: 117_000_000, // Goodput ceiling ≈ 117 MB/s.
+        }
+    }
+
+    /// Bandwidth-delay product in segments (the cwnd cap).
+    fn bdp_segments(&self) -> u64 {
+        let bdp_bytes = (self.bandwidth_bps as u128 * self.rtt_ns as u128 / SEC as u128) as u64;
+        (bdp_bytes / MSS).max(4)
+    }
+}
+
+/// A connectivity outage: `[start_ns, start_ns + duration_ns)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Outage {
+    /// Outage start (ns since flow start).
+    pub start_ns: u64,
+    /// Outage length (ns).
+    pub duration_ns: u64,
+}
+
+/// Result of simulating one transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferResult {
+    /// Wall-clock time of the transfer (ns).
+    pub elapsed_ns: u64,
+    /// Mean goodput in bytes per second.
+    pub goodput_bps: f64,
+    /// Number of RTO events suffered.
+    pub rto_events: u32,
+    /// The longest single stall (ns) — the paper's "longest packet took
+    /// 3000–7000 ms" observation in Figure 6.5.
+    pub longest_stall_ns: u64,
+}
+
+/// Simulates one bulk transfer of `bytes` over `path`, with connectivity
+/// outages at the given (sorted, non-overlapping) times.
+///
+/// # Examples
+///
+/// ```
+/// use xoar_sim::tcp::{simulate_transfer, TcpPath};
+///
+/// let clean = simulate_transfer(TcpPath::gigabit_lan(), 64 << 20, &[]);
+/// assert!(clean.goodput_bps / 1e6 > 90.0); // Near line rate.
+/// assert_eq!(clean.rto_events, 0);
+/// ```
+pub fn simulate_transfer(path: TcpPath, bytes: u64, outages: &[Outage]) -> TransferResult {
+    let bdp = path.bdp_segments();
+    let mut cwnd = INITIAL_CWND;
+    let mut ssthresh = bdp;
+    let mut sent: u64 = 0;
+    let mut now: u64 = 0;
+    let mut rto_events = 0u32;
+    let mut longest_stall = 0u64;
+    let mut outage_idx = 0usize;
+
+    while sent < bytes {
+        // Is an outage in effect (or does one start during this round)?
+        if outage_idx < outages.len() {
+            let o = outages[outage_idx];
+            if now + path.rtt_ns > o.start_ns && now < o.start_ns + o.duration_ns {
+                // The round's window is lost. The sender RTOs with
+                // exponential backoff until the link is back.
+                let mut rto = RTO_MIN_NS;
+                let mut t = now.max(o.start_ns);
+                let link_up = o.start_ns + o.duration_ns;
+                let stall_start = t;
+                loop {
+                    t += rto;
+                    if t >= link_up {
+                        break;
+                    }
+                    rto = (rto * 2).min(RTO_MAX_NS);
+                    rto_events += 1;
+                }
+                rto_events += 1;
+                longest_stall = longest_stall.max(t - stall_start);
+                now = t;
+                ssthresh = (cwnd / 2).max(2);
+                cwnd = RESTART_CWND;
+                outage_idx += 1;
+                continue;
+            }
+            if now >= o.start_ns + o.duration_ns {
+                outage_idx += 1;
+                continue;
+            }
+        }
+        // One RTT round: send cwnd segments (capped so a round cannot
+        // exceed the remaining bytes).
+        let round_bytes = (cwnd * MSS).min(bytes - sent);
+        sent += round_bytes;
+        // Round duration: the RTT, or the serialisation time if the
+        // window saturates the link.
+        let serialise = (round_bytes as u128 * SEC as u128 / path.bandwidth_bps as u128) as u64;
+        now += path.rtt_ns.max(serialise);
+        // Window growth.
+        cwnd = if cwnd < ssthresh {
+            (cwnd * 2).min(bdp)
+        } else {
+            (cwnd + 1).min(bdp)
+        };
+    }
+    TransferResult {
+        elapsed_ns: now,
+        goodput_bps: bytes as f64 / (now as f64 / SEC as f64),
+        rto_events,
+        longest_stall_ns: longest_stall,
+    }
+}
+
+/// Convenience: outages every `interval_ns` of `downtime_ns` each, long
+/// enough to cover a transfer of duration `horizon_ns`.
+pub fn periodic_outages(interval_ns: u64, downtime_ns: u64, horizon_ns: u64) -> Vec<Outage> {
+    let mut v = Vec::new();
+    let mut t = interval_ns;
+    while t < horizon_ns {
+        v.push(Outage {
+            start_ns: t,
+            duration_ns: downtime_ns,
+        });
+        t += interval_ns;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB2: u64 = 2 * 1024 * 1024 * 1024;
+
+    #[test]
+    fn clean_transfer_approaches_line_rate() {
+        let r = simulate_transfer(TcpPath::gigabit_lan(), GB2, &[]);
+        let mbps = r.goodput_bps / 1e6;
+        assert!(mbps > 100.0, "goodput {mbps:.1} MB/s");
+        assert!(mbps <= 117.1, "cannot exceed the path ceiling");
+        assert_eq!(r.rto_events, 0);
+    }
+
+    #[test]
+    fn small_transfer_dominated_by_slow_start() {
+        // 100 KB barely leaves slow start: goodput far below line rate.
+        let r = simulate_transfer(TcpPath::gigabit_lan(), 100 * 1024, &[]);
+        assert!(r.goodput_bps / 1e6 < 60.0);
+    }
+
+    #[test]
+    fn outages_cost_more_than_their_duration() {
+        let clean = simulate_transfer(TcpPath::gigabit_lan(), GB2, &[]);
+        let horizon = clean.elapsed_ns * 3;
+        let outages = periodic_outages(SEC, 260_000_000, horizon);
+        let broken = simulate_transfer(TcpPath::gigabit_lan(), GB2, &outages);
+        let n_outages_hit = broken.rto_events.max(1) as u64;
+        let raw_downtime = n_outages_hit * 260_000_000;
+        assert!(
+            broken.elapsed_ns > clean.elapsed_ns + raw_downtime,
+            "RTO backoff and slow-start ramp must add cost beyond the raw downtime"
+        );
+    }
+
+    #[test]
+    fn figure_6_3_shape_slow_path() {
+        // Throughput vs restart interval, slow (260 ms) downtime.
+        let clean = simulate_transfer(TcpPath::gigabit_lan(), GB2, &[]);
+        let tp = |interval_s: u64| {
+            let horizon = clean.elapsed_ns * 20;
+            let outages = periodic_outages(interval_s * SEC, 260_000_000, horizon);
+            simulate_transfer(TcpPath::gigabit_lan(), GB2, &outages).goodput_bps
+        };
+        let t1 = tp(1);
+        let t5 = tp(5);
+        let t10 = tp(10);
+        // Monotone in interval.
+        assert!(t1 < t5 && t5 < t10, "t1 {t1:.0} t5 {t5:.0} t10 {t10:.0}");
+        // Paper: ~58% drop at 1 s, ~8% at 10 s.
+        let drop1 = 1.0 - t1 / clean.goodput_bps;
+        let drop10 = 1.0 - t10 / clean.goodput_bps;
+        assert!(drop1 > 0.40 && drop1 < 0.70, "1s drop {drop1:.2}");
+        assert!(drop10 > 0.03 && drop10 < 0.15, "10s drop {drop10:.2}");
+    }
+
+    #[test]
+    fn fast_restart_beats_slow_everywhere() {
+        let clean = simulate_transfer(TcpPath::gigabit_lan(), GB2, &[]);
+        let horizon = clean.elapsed_ns * 20;
+        for interval_s in [1u64, 2, 5, 10] {
+            let slow = simulate_transfer(
+                TcpPath::gigabit_lan(),
+                GB2,
+                &periodic_outages(interval_s * SEC, 260_000_000, horizon),
+            );
+            let fast = simulate_transfer(
+                TcpPath::gigabit_lan(),
+                GB2,
+                &periodic_outages(interval_s * SEC, 140_000_000, horizon),
+            );
+            assert!(
+                fast.goodput_bps >= slow.goodput_bps,
+                "fast must not lose at {interval_s}s"
+            );
+        }
+        // And the benefit shrinks as the interval grows (paper: "worth
+        // less than 1% for 10-second reboots").
+        let gain = |i: u64| {
+            let slow = simulate_transfer(
+                TcpPath::gigabit_lan(),
+                GB2,
+                &periodic_outages(i * SEC, 260_000_000, horizon),
+            )
+            .goodput_bps;
+            let fast = simulate_transfer(
+                TcpPath::gigabit_lan(),
+                GB2,
+                &periodic_outages(i * SEC, 140_000_000, horizon),
+            )
+            .goodput_bps;
+            (fast - slow) / slow
+        };
+        assert!(gain(1) > gain(10));
+        assert!(gain(10) < 0.06, "10s gain {:.3}", gain(10));
+    }
+
+    #[test]
+    fn stalls_reach_seconds_with_restarts() {
+        // Figure 6.5: longest requests stretch to 3000–7000 ms under
+        // restarts, vs 8–9 ms without.
+        let clean = simulate_transfer(TcpPath::gigabit_lan(), GB2, &[]);
+        assert_eq!(clean.longest_stall_ns, 0);
+        let horizon = clean.elapsed_ns * 20;
+        let broken = simulate_transfer(
+            TcpPath::gigabit_lan(),
+            GB2,
+            &periodic_outages(SEC, 260_000_000, horizon),
+        );
+        assert!(broken.longest_stall_ns >= 260_000_000);
+    }
+
+    #[test]
+    fn periodic_outages_layout() {
+        let o = periodic_outages(SEC, 100, 3 * SEC + 1);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o[0].start_ns, SEC);
+        assert_eq!(o[2].start_ns, 3 * SEC);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Goodput never exceeds the path bandwidth, for any outage
+        /// pattern, and outages never make the transfer free.
+        #[test]
+        fn goodput_bounded_by_line_rate(
+            outage_starts in proptest::collection::vec(1u64..30, 0..8),
+            downtime_ms in 50u64..500,
+        ) {
+            let mut starts = outage_starts;
+            starts.sort_unstable();
+            starts.dedup();
+            let outages: Vec<Outage> = starts
+                .iter()
+                .map(|s| Outage { start_ns: s * SEC, duration_ns: downtime_ms * 1_000_000 })
+                .collect();
+            let bytes = 256u64 << 20;
+            let r = simulate_transfer(TcpPath::gigabit_lan(), bytes, &outages);
+            let clean = simulate_transfer(TcpPath::gigabit_lan(), bytes, &[]);
+            prop_assert!(r.goodput_bps <= TcpPath::gigabit_lan().bandwidth_bps as f64 * 1.001);
+            prop_assert!(r.elapsed_ns >= clean.elapsed_ns, "outages never speed things up");
+        }
+
+        /// The transfer always completes: elapsed time is finite and the
+        /// reported goodput is consistent with it.
+        #[test]
+        fn accounting_consistency(bytes_mb in 1u64..128) {
+            let bytes = bytes_mb << 20;
+            let r = simulate_transfer(TcpPath::gigabit_lan(), bytes, &[]);
+            let implied = bytes as f64 / (r.elapsed_ns as f64 / SEC as f64);
+            prop_assert!((implied - r.goodput_bps).abs() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! The Chapter 6 evaluation workloads.
+//!
+//! One module per experiment: [`postmark`] (Fig 6.1), [`wget`] (Fig 6.2),
+//! [`restart_sweep`] (Fig 6.3), [`kernel_build`] (Fig 6.4), and
+//! [`apache`] (Fig 6.5). Boot timing (Table 6.2) lives in
+//! `xoar_core::boot`.
+
+pub mod apache;
+pub mod density;
+pub mod kernel_build;
+pub mod postmark;
+pub mod restart_sweep;
+pub mod stagger;
+pub mod wget;

@@ -1,0 +1,70 @@
+//! XenStore error types.
+
+use std::fmt;
+
+use xoar_hypervisor::DomId;
+
+/// Errors returned by XenStore operations, mirroring the errno strings the
+/// C xenstored places in its reply payloads (`ENOENT`, `EACCES`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XsError {
+    /// Path does not exist.
+    NoEnt(String),
+    /// Caller lacks permission on the node.
+    Acc {
+        /// The requesting connection's domain.
+        caller: DomId,
+        /// The path refused.
+        path: String,
+    },
+    /// Malformed path.
+    BadPath(String),
+    /// Transaction conflict: retry (EAGAIN).
+    Again,
+    /// Unknown transaction ID.
+    BadTxn(u32),
+    /// Per-domain quota exhausted.
+    Quota(&'static str),
+    /// Node already exists (mkdir of existing node is tolerated in real
+    /// xenstore; this is used for watch duplication and similar cases).
+    Exists(String),
+    /// Malformed request at the protocol level.
+    Inval(String),
+    /// The store backend (XenStore-State) is unreachable.
+    StateUnavailable,
+}
+
+impl fmt::Display for XsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsError::NoEnt(p) => write!(f, "ENOENT: {p}"),
+            XsError::Acc { caller, path } => write!(f, "EACCES: {caller} on {path}"),
+            XsError::BadPath(p) => write!(f, "EINVAL: bad path {p}"),
+            XsError::Again => write!(f, "EAGAIN: transaction conflict"),
+            XsError::BadTxn(id) => write!(f, "EINVAL: unknown transaction {id}"),
+            XsError::Quota(what) => write!(f, "E2BIG: quota exceeded ({what})"),
+            XsError::Exists(p) => write!(f, "EEXIST: {p}"),
+            XsError::Inval(s) => write!(f, "EINVAL: {s}"),
+            XsError::StateUnavailable => write!(f, "EIO: XenStore-State unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for XsError {}
+
+/// Result alias for XenStore operations.
+pub type XsResult<T> = Result<T, XsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_errno_convention() {
+        assert!(XsError::NoEnt("/x".into())
+            .to_string()
+            .starts_with("ENOENT"));
+        assert!(XsError::Again.to_string().starts_with("EAGAIN"));
+        assert!(XsError::Quota("nodes").to_string().contains("nodes"));
+    }
+}

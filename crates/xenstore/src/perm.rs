@@ -1,0 +1,148 @@
+//! XenStore node permissions.
+//!
+//! Each node carries an owner and an ACL, exactly as in the C xenstored:
+//! the first permission entry names the owner (who always has full
+//! access), subsequent entries grant read/write/both to specific domains,
+//! and a `None` entry for [`DomId`] 0…n acts as the default for domains
+//! not listed. Privileged connections (Dom0 in stock Xen; the toolstack
+//! shards in Xoar) bypass the ACL.
+
+use serde::{Deserialize, Serialize};
+
+use xoar_hypervisor::DomId;
+
+/// Access level granted by one ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PermLevel {
+    /// No access.
+    None,
+    /// Read only.
+    Read,
+    /// Write only.
+    Write,
+    /// Read and write.
+    Both,
+}
+
+impl PermLevel {
+    /// Whether this level allows reading.
+    pub fn can_read(self) -> bool {
+        matches!(self, PermLevel::Read | PermLevel::Both)
+    }
+
+    /// Whether this level allows writing.
+    pub fn can_write(self) -> bool {
+        matches!(self, PermLevel::Write | PermLevel::Both)
+    }
+}
+
+/// One ACL entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermEntry {
+    /// Domain the entry applies to.
+    pub dom: DomId,
+    /// Level granted.
+    pub level: PermLevel,
+}
+
+/// The permissions of a node: owner plus ACL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePerms {
+    /// Owning domain; always has full access and may change the ACL.
+    pub owner: DomId,
+    /// Default level for domains with no specific entry.
+    pub default: PermLevel,
+    /// Specific entries.
+    pub entries: Vec<PermEntry>,
+}
+
+impl NodePerms {
+    /// Owner-only permissions (the default for new nodes).
+    pub fn owner_only(owner: DomId) -> Self {
+        NodePerms {
+            owner,
+            default: PermLevel::None,
+            entries: Vec::new(),
+        }
+    }
+
+    /// World-readable permissions (used for `/local/domain` listings).
+    pub fn world_readable(owner: DomId) -> Self {
+        NodePerms {
+            owner,
+            default: PermLevel::Read,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds or replaces the entry for `dom`.
+    pub fn set_entry(&mut self, dom: DomId, level: PermLevel) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.dom == dom) {
+            e.level = level;
+        } else {
+            self.entries.push(PermEntry { dom, level });
+        }
+    }
+
+    /// The effective level for `dom`.
+    pub fn level_for(&self, dom: DomId) -> PermLevel {
+        if dom == self.owner {
+            return PermLevel::Both;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.dom == dom)
+            .map(|e| e.level)
+            .unwrap_or(self.default)
+    }
+
+    /// Whether `dom` may read the node.
+    pub fn can_read(&self, dom: DomId) -> bool {
+        self.level_for(dom).can_read()
+    }
+
+    /// Whether `dom` may write the node.
+    pub fn can_write(&self, dom: DomId) -> bool {
+        self.level_for(dom).can_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_has_full_access() {
+        let p = NodePerms::owner_only(DomId(5));
+        assert!(p.can_read(DomId(5)));
+        assert!(p.can_write(DomId(5)));
+        assert!(!p.can_read(DomId(6)));
+        assert!(!p.can_write(DomId(6)));
+    }
+
+    #[test]
+    fn acl_entries_override_default() {
+        let mut p = NodePerms::owner_only(DomId(0));
+        p.set_entry(DomId(7), PermLevel::Read);
+        assert!(p.can_read(DomId(7)));
+        assert!(!p.can_write(DomId(7)));
+        p.set_entry(DomId(7), PermLevel::Both);
+        assert!(p.can_write(DomId(7)));
+        assert_eq!(p.entries.len(), 1, "set_entry replaces, not duplicates");
+    }
+
+    #[test]
+    fn world_readable_default() {
+        let p = NodePerms::world_readable(DomId(0));
+        assert!(p.can_read(DomId(42)));
+        assert!(!p.can_write(DomId(42)));
+    }
+
+    #[test]
+    fn write_only_level() {
+        let mut p = NodePerms::owner_only(DomId(0));
+        p.set_entry(DomId(3), PermLevel::Write);
+        assert!(!p.can_read(DomId(3)));
+        assert!(p.can_write(DomId(3)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Public-cloud deployment (§3.4.1): dense multi-tenancy with constraint
+//! groups, microreboots, and forensic audit.
+//!
+//! ```sh
+//! cargo run --example public_cloud
+//! ```
+//!
+//! Simulates an AWS-style host: one administrative toolstack packs VMs
+//! from mutually untrusting customers onto shared shards, customers tag
+//! their VMs with `constrain_group` to bound exposure, NetBack is
+//! microrebooted on a timer to shrink the temporal attack surface, and —
+//! after a (simulated) compromise is detected — the audit log answers
+//! "which customers do we have to notify?".
+
+use xoar_core::audit::AuditEvent;
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
+use xoar_core::shard::ConstraintTag;
+
+const SEC: u64 = 1_000_000_000;
+
+fn main() {
+    let mut platform = Platform::xoar(XoarConfig::default());
+    let toolstack = platform.services.toolstacks[0];
+
+    // Customer A runs an Internet-exposed fleet, no special constraints.
+    let mut fleet = Vec::new();
+    for i in 0..4 {
+        platform.advance_time(SEC);
+        let g = platform
+            .create_guest(
+                toolstack,
+                GuestConfig::evaluation_guest(&format!("cust-a-web-{i}")),
+            )
+            .expect("guest");
+        fleet.push(g);
+    }
+    println!(
+        "Customer A: {} untagged guests sharing NetBack/BlkBack",
+        fleet.len()
+    );
+
+    // Customer B demands isolation: constrain_group means their VM will
+    // only share shards with same-tagged VMs. On this single-NIC testbed
+    // the shards are already adopted by the untagged group, so creation
+    // fails rather than forcing unwanted sharing (§3.2.1).
+    let mut cfg = GuestConfig::evaluation_guest("cust-b-db");
+    cfg.constraint = ConstraintTag::group("customer-b");
+    match platform.create_guest(toolstack, cfg) {
+        Err(e) => println!("\nCustomer B placement refused (as designed): {e}"),
+        Ok(_) => unreachable!("constraint groups must refuse mixed sharing"),
+    }
+
+    // Shrink the temporal attack surface: NetBack restarts every 10 s.
+    let netback = platform.services.netbacks[0];
+    let mut engine = RestartEngine::new();
+    engine
+        .register(
+            &mut platform,
+            netback,
+            RestartPolicy::Timer {
+                interval_ns: 10 * SEC,
+            },
+            RestartPath::Fast,
+        )
+        .expect("register");
+    for _ in 0..6 {
+        platform.advance_time(10 * SEC);
+        for shard in engine.due(platform.now_ns()) {
+            let o = engine.restart(&mut platform, shard).expect("restart");
+            println!(
+                "t={:>3}s microreboot {shard}: downtime {:.0} ms",
+                platform.now_ns() / SEC,
+                o.downtime_ns as f64 / 1e6
+            );
+        }
+    }
+
+    // A compromise of NetBack is detected at t=70s, believed to have
+    // begun at t=45s. The last restart before t=45s bounds the window.
+    platform.advance_time(5 * SEC);
+    let now = platform.now_ns();
+    platform
+        .audit
+        .append(now, AuditEvent::CompromiseDetected { dom: netback });
+    let exposed = platform.audit.guests_exposed_to(netback, 45 * SEC, now);
+    println!(
+        "\nForensics: compromise window [45s, {}s]; guests to notify: {:?}",
+        now / SEC,
+        exposed
+    );
+    assert_eq!(exposed.len(), fleet.len(), "all of customer A was exposed");
+
+    // Thanks to the restarts, the attacker's *execution* window within
+    // the compromise never exceeded one restart interval.
+    println!(
+        "NetBack was microrebooted {} times; max attacker dwell time ≈ 10 s",
+        platform.audit.restart_count(netback)
+    );
+}

@@ -1,0 +1,188 @@
+//! Cross-crate property-based tests: platform invariants under random
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_core::shard::ConstraintTag;
+use xoar_devices::blk::BlkOp;
+use xoar_hypervisor::{DomId, DomainState};
+
+/// The operations the fuzzer may apply to a platform.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { tag: Option<u8> },
+    DestroyNth(u8),
+    BlkIoNth(u8),
+    NetIoNth(u8),
+    XsRestart,
+    AdvanceTime(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::option::of(0u8..3).prop_map(|tag| Op::Create { tag }),
+        (0u8..8).prop_map(Op::DestroyNth),
+        (0u8..8).prop_map(Op::BlkIoNth),
+        (0u8..8).prop_map(Op::NetIoNth),
+        Just(Op::XsRestart),
+        (1u32..1_000_000).prop_map(Op::AdvanceTime),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No sequence of lifecycle/I/O operations can violate the core
+    /// invariants: live guests always have live service shards, shard
+    /// constraint tags never mix, the audit graph matches reality, and
+    /// nothing panics.
+    #[test]
+    fn platform_invariants_hold_under_random_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let mut n = 0u32;
+        for op in ops {
+            match op {
+                Op::Create { tag } => {
+                    n += 1;
+                    let mut cfg = GuestConfig::evaluation_guest(&format!("g{n}"));
+                    cfg.memory_mib = 64;
+                    if let Some(t) = tag {
+                        cfg.constraint = ConstraintTag::group(&format!("t{t}"));
+                    }
+                    // May fail on constraints or memory: must not panic.
+                    let _ = p.create_guest(ts, cfg);
+                }
+                Op::DestroyNth(i) => {
+                    let doms: Vec<DomId> = p.guests().iter().map(|g| g.dom).collect();
+                    if let Some(d) = doms.get(i as usize % doms.len().max(1)) {
+                        p.destroy_guest(ts, *d).unwrap();
+                    }
+                }
+                Op::BlkIoNth(i) => {
+                    let doms: Vec<DomId> = p.guests().iter().map(|g| g.dom).collect();
+                    if let Some(d) = doms.get(i as usize % doms.len().max(1)) {
+                        let _ = p.blk_submit(*d, BlkOp::Write, 0, 8);
+                        p.process_blkbacks();
+                        while p.blk_poll(*d).is_some() {}
+                    }
+                }
+                Op::NetIoNth(i) => {
+                    let doms: Vec<DomId> = p.guests().iter().map(|g| g.dom).collect();
+                    if let Some(d) = doms.get(i as usize % doms.len().max(1)) {
+                        let _ = p.net_transmit(*d, 1, 1500);
+                        p.process_netbacks();
+                        while p.net_receive(*d).is_some() {}
+                    }
+                }
+                Op::XsRestart => p.xs.restart_logic(),
+                Op::AdvanceTime(ns) => p.advance_time(ns as u64),
+            }
+
+            // Invariant 1: every live guest's shards are live.
+            for g in p.guests() {
+                for shard in [g.netback, g.blkback] {
+                    if let Some(s) = shard {
+                        prop_assert_eq!(
+                            p.hv.domain(s).unwrap().state,
+                            DomainState::Running,
+                            "guest {} has dead shard {}", g.dom, s
+                        );
+                    }
+                }
+            }
+            // Invariant 2: no shard serves two different constraint tags.
+            for g1 in p.guests() {
+                for g2 in p.guests() {
+                    if g1.netback == g2.netback {
+                        prop_assert!(
+                            g1.constraint.compatible(&g2.constraint),
+                            "{} and {} share a netback with different tags", g1.dom, g2.dom
+                        );
+                    }
+                }
+            }
+            // Invariant 3: the audit dependency graph matches the live
+            // attachments.
+            let deps = p.audit.dependency_graph_at(u64::MAX);
+            for g in p.guests() {
+                if let Some(nb) = g.netback {
+                    prop_assert!(deps.contains(&(g.dom, nb)));
+                }
+            }
+            // Invariant 4: memory accounting never goes negative / wild.
+            prop_assert!(p.hv.mem.free_frames() <= p.hv.mem.total_frames());
+        }
+    }
+
+    /// Guest creation is all-or-nothing: a failed creation leaves no
+    /// residue (no half-attached devices, no audit records, no leaked
+    /// image mounts).
+    #[test]
+    fn failed_creation_leaves_no_residue(tag in 0u8..3) {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        // Occupy the only netback with a tagged guest.
+        let mut cfg = GuestConfig::evaluation_guest("occupier");
+        cfg.constraint = ConstraintTag::group("occupied");
+        p.create_guest(ts, cfg).unwrap();
+        let audit_before = p.audit.len();
+        let guests_before = p.guests().len();
+        // This must fail on the constraint check (different tag).
+        let mut cfg = GuestConfig::evaluation_guest("loser");
+        cfg.constraint = ConstraintTag::group(&format!("other-{tag}"));
+        prop_assert!(p.create_guest(ts, cfg).is_err());
+        prop_assert_eq!(p.audit.len(), audit_before);
+        prop_assert_eq!(p.guests().len(), guests_before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Toolstack quota accounting never drifts from the live platform
+    /// state under arbitrary create/destroy/resize sequences.
+    #[test]
+    fn toolstack_quota_never_drifts(
+        ops in proptest::collection::vec((0u8..3, 1u64..4), 1..30)
+    ) {
+        use xoar_core::toolstack::{ResourceQuota, Toolstack};
+        let mut p = Platform::xoar(XoarConfig::default());
+        let mut ts = Toolstack::new(&p, 0).with_quota(ResourceQuota {
+            max_vms: 6,
+            max_memory_mib: 6 * 1024,
+            max_disk_bytes: 120 << 30,
+        });
+        let mut n = 0u32;
+        for (op, size) in ops {
+            match op {
+                0 => {
+                    n += 1;
+                    let mut cfg = GuestConfig::evaluation_guest(&format!("q{n}"));
+                    cfg.memory_mib = size * 256;
+                    let _ = ts.create(&mut p, cfg);
+                }
+                1 => {
+                    if let Some(vm) = ts.list(&p).first() {
+                        let dom = vm.dom;
+                        ts.destroy(&mut p, dom).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(vm) = ts.list(&p).first() {
+                        let dom = vm.dom;
+                        let _ = ts.set_memory(&mut p, dom, size * 256);
+                    }
+                }
+            }
+            // Invariant: accounted memory equals the sum over live VMs.
+            let live: u64 = ts.list(&p).iter().map(|v| v.memory_mib).sum();
+            prop_assert_eq!(ts.used_memory_mib(), live);
+            // And the quota is never exceeded.
+            prop_assert!(live <= 6 * 1024);
+        }
+    }
+}
