@@ -1,4 +1,5 @@
-//! Ablation benches for the design choices DESIGN.md calls out.
+//! Ablation benches for the design choices DESIGN.md calls out, on the
+//! in-tree deterministic harness ([`xoar_bench::harness`]).
 //!
 //! * **privilege checks on the hot path** — the cost of a hypercall
 //!   whose caller holds blanket privilege (Dom0, one comparison) versus a
@@ -11,105 +12,101 @@
 //!   recovery-box fast path, end to end on the platform;
 //! * **boot plans** — evaluating the serial and parallel boot DAGs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use xoar_bench::harness::Harness;
 use xoar_core::boot::BootPlan;
 use xoar_core::platform::{GuestConfig, Platform, PlatformMode, XoarConfig};
 use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
 use xoar_hypervisor::{DomId, Hypercall};
 use xoar_xenstore::XenStore;
 
-fn bench_privilege_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/privilege_checks");
+fn bench_privilege_checks(h: &mut Harness) {
+    let mut group = h.group("ablation/privilege_checks");
     // Blanket-privileged caller (stock Xen Dom0).
     let mut stock = Platform::stock_xen();
     let dom0 = stock.services.builder;
-    group.bench_function("dom0_blanket", |b| {
-        b.iter(|| {
-            stock
-                .hv
-                .hypercall(black_box(dom0), Hypercall::SysctlPhysinfo)
-                .unwrap()
-        })
+    group.bench_function("dom0_blanket", || {
+        stock
+            .hv
+            .hypercall(black_box(dom0), Hypercall::SysctlPhysinfo)
+            .unwrap();
     });
     // Whitelist-gated shard caller (Xoar toolstack).
     let mut xoar = Platform::xoar(XoarConfig::default());
     let ts = xoar.services.toolstacks[0];
-    group.bench_function("shard_whitelisted", |b| {
-        b.iter(|| {
-            xoar.hv
-                .hypercall(black_box(ts), Hypercall::SysctlPhysinfo)
-                .unwrap()
-        })
+    group.bench_function("shard_whitelisted", || {
+        xoar.hv
+            .hypercall(black_box(ts), Hypercall::SysctlPhysinfo)
+            .unwrap();
     });
     group.finish();
 }
 
-fn bench_xenstore_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/xenstore_split");
+fn bench_xenstore_split(h: &mut Harness) {
+    let mut group = h.group("ablation/xenstore_split");
     let dom0 = DomId(0);
     let mut xs = XenStore::new();
     xs.set_privileged(dom0, true);
     for i in 0..100 {
         xs.write_str(dom0, &format!("/tool/k{i}"), "v").unwrap();
     }
-    group.bench_function("request_no_restart", |b| {
-        b.iter(|| xs.read_str(dom0, "/tool/k50").unwrap())
+    group.bench_function("request_no_restart", || {
+        xs.read_str(dom0, "/tool/k50").unwrap();
     });
     // Figure 5.1: XenStore-Logic "restarted on each request".
-    group.bench_function("request_with_per_request_restart", |b| {
-        b.iter(|| {
-            xs.restart_logic();
-            xs.read_str(dom0, "/tool/k50").unwrap()
-        })
+    group.bench_function("request_with_per_request_restart", || {
+        xs.restart_logic();
+        xs.read_str(dom0, "/tool/k50").unwrap();
     });
     group.finish();
 }
 
-fn bench_restart_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/restart_paths");
+fn bench_restart_paths(h: &mut Harness) {
+    let mut group = h.group("ablation/restart_paths");
     group.sample_size(20);
     for (label, path) in [("slow", RestartPath::Slow), ("fast", RestartPath::Fast)] {
-        group.bench_function(label, |b| {
-            let mut p = Platform::xoar(XoarConfig::default());
-            let ts = p.services.toolstacks[0];
-            let _g = p
-                .create_guest(ts, GuestConfig::evaluation_guest("g"))
-                .unwrap();
-            let nb = p.services.netbacks[0];
-            let mut eng = RestartEngine::new();
-            eng.register(&mut p, nb, RestartPolicy::Never, path)
-                .unwrap();
-            b.iter(|| eng.restart(&mut p, nb).unwrap())
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let _g = p
+            .create_guest(ts, GuestConfig::evaluation_guest("g"))
+            .unwrap();
+        let nb = p.services.netbacks[0];
+        let mut eng = RestartEngine::new();
+        eng.register(&mut p, nb, RestartPolicy::Never, path)
+            .unwrap();
+        group.bench_function(label, || {
+            eng.restart(&mut p, nb).unwrap();
         });
     }
     group.finish();
 }
 
-fn bench_boot_plans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/boot_plans");
-    group.bench_function("serial_dom0", |b| {
-        b.iter(|| black_box(BootPlan::stock_xen().simulate()))
+fn bench_boot_plans(h: &mut Harness) {
+    let mut group = h.group("ablation/boot_plans");
+    group.bench_function("serial_dom0", || {
+        black_box(BootPlan::stock_xen().simulate());
     });
-    group.bench_function("parallel_xoar", |b| {
-        b.iter(|| black_box(BootPlan::xoar().simulate()))
+    group.bench_function("parallel_xoar", || {
+        black_box(BootPlan::xoar().simulate());
     });
     group.finish();
 }
 
-fn bench_platform_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/platform_construction");
+fn bench_platform_construction(h: &mut Harness) {
+    let mut group = h.group("ablation/platform_construction");
     group.sample_size(20);
-    group.bench_function("stock_xen", |b| b.iter(Platform::stock_xen));
-    group.bench_function("xoar_full_boot", |b| {
-        b.iter(|| Platform::xoar(XoarConfig::default()))
+    group.bench_function("stock_xen", || {
+        black_box(Platform::stock_xen());
     });
-    group.bench_function("guest_creation_xoar", |b| {
+    group.bench_function("xoar_full_boot", || {
+        black_box(Platform::xoar(XoarConfig::default()));
+    });
+    {
         let mut p = Platform::xoar(XoarConfig::default());
         let ts = p.services.toolstacks[0];
         let mut n = 0;
-        b.iter(|| {
+        group.bench_function("guest_creation_xoar", || {
             n += 1;
             let g = p
                 .create_guest(ts, GuestConfig::evaluation_guest(&format!("g{n}")))
@@ -117,16 +114,16 @@ fn bench_platform_construction(c: &mut Criterion) {
             p.destroy_guest(ts, g).unwrap();
         });
         assert_eq!(p.mode, PlatformMode::Xoar);
-    });
+    }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_privilege_checks,
-    bench_xenstore_split,
-    bench_restart_paths,
-    bench_boot_plans,
-    bench_platform_construction
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_privilege_checks(&mut h);
+    bench_xenstore_split(&mut h);
+    bench_restart_paths(&mut h);
+    bench_boot_plans(&mut h);
+    bench_platform_construction(&mut h);
+    h.emit_json();
+}

@@ -1,13 +1,14 @@
-//! Criterion micro-benchmarks of the platform's hot mechanisms.
+//! Micro-benchmarks of the platform's hot mechanisms, on the in-tree
+//! deterministic harness ([`xoar_bench::harness`]).
 //!
 //! These quantify the per-operation costs that the paper's performance
 //! argument leans on: hypercall dispatch with whitelist checking, grant
 //! map/unmap, event-channel signalling, ring round trips, XenStore
 //! reads/writes, and snapshot rollback.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use xoar_bench::harness::Harness;
 use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
 use xoar_devices::blk::BlkOp;
 use xoar_hypervisor::grant::GrantAccess;
@@ -24,19 +25,17 @@ fn platform_with_guest() -> (Platform, DomId) {
     (p, g)
 }
 
-fn bench_hypercalls(c: &mut Criterion) {
+fn bench_hypercalls(h: &mut Harness) {
     let (mut p, g) = platform_with_guest();
-    c.bench_function("hypercall/sched_yield", |b| {
-        b.iter(|| p.hv.hypercall(black_box(g), Hypercall::SchedYield).unwrap())
+    h.bench_function("hypercall/sched_yield", || {
+        p.hv.hypercall(black_box(g), Hypercall::SchedYield).unwrap();
     });
-    c.bench_function("hypercall/denied_privileged", |b| {
-        b.iter(|| {
-            let _ = p.hv.hypercall(black_box(g), Hypercall::SysctlPhysinfo);
-        })
+    h.bench_function("hypercall/denied_privileged", || {
+        let _ = p.hv.hypercall(black_box(g), Hypercall::SysctlPhysinfo);
     });
 }
 
-fn bench_events(c: &mut Criterion) {
+fn bench_events(h: &mut Harness) {
     let (mut p, g) = platform_with_guest();
     let nb = p.services.netbacks[0];
     let port =
@@ -51,15 +50,13 @@ fn bench_events(c: &mut Criterion) {
         },
     )
     .unwrap();
-    c.bench_function("evtchn/send_poll", |b| {
-        b.iter(|| {
-            p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
-            p.hv.events.poll(black_box(nb)).unwrap();
-        })
+    h.bench_function("evtchn/send_poll", || {
+        p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
+        p.hv.events.poll(black_box(nb)).unwrap();
     });
 }
 
-fn bench_grants(c: &mut Criterion) {
+fn bench_grants(h: &mut Harness) {
     let (mut p, g) = platform_with_guest();
     let nb = p.services.netbacks[0];
     let gref =
@@ -73,77 +70,65 @@ fn bench_grants(c: &mut Criterion) {
         )
         .unwrap()
         .grant_ref();
-    c.bench_function("grant/map_unmap", |b| {
-        b.iter(|| {
-            p.hv.hypercall(nb, Hypercall::GnttabMapGrantRef { granter: g, gref })
-                .unwrap();
-            p.hv.hypercall(nb, Hypercall::GnttabUnmapGrantRef { granter: g, gref })
-                .unwrap();
-        })
+    h.bench_function("grant/map_unmap", || {
+        p.hv.hypercall(nb, Hypercall::GnttabMapGrantRef { granter: g, gref })
+            .unwrap();
+        p.hv.hypercall(nb, Hypercall::GnttabUnmapGrantRef { granter: g, gref })
+            .unwrap();
     });
 }
 
-fn bench_ring_round_trip(c: &mut Criterion) {
+fn bench_ring_round_trip(h: &mut Harness) {
     let (mut p, g) = platform_with_guest();
-    c.bench_function("blk/submit_process_poll", |b| {
-        let mut sector = 0u64;
-        b.iter(|| {
-            p.blk_submit(g, BlkOp::Write, sector % 4096, 8).unwrap();
-            sector += 8;
-            p.process_blkbacks();
-            p.blk_poll(g).unwrap();
-        })
+    let mut sector = 0u64;
+    h.bench_function("blk/submit_process_poll", || {
+        p.blk_submit(g, BlkOp::Write, sector % 4096, 8).unwrap();
+        sector += 8;
+        p.process_blkbacks();
+        p.blk_poll(g).unwrap();
     });
-    c.bench_function("net/transmit_process", |b| {
-        b.iter(|| {
-            p.net_transmit(g, 1, 1500).unwrap();
-            p.process_netbacks();
-            p.net_receive(g).unwrap();
-        })
+    h.bench_function("net/transmit_process", || {
+        p.net_transmit(g, 1, 1500).unwrap();
+        p.process_netbacks();
+        p.net_receive(g).unwrap();
     });
 }
 
-fn bench_xenstore(c: &mut Criterion) {
+fn bench_xenstore(h: &mut Harness) {
     let mut xs = XenStore::new();
     let dom0 = DomId(0);
     xs.set_privileged(dom0, true);
     xs.write_str(dom0, "/bench/key", "value").unwrap();
-    c.bench_function("xenstore/read", |b| {
-        b.iter(|| xs.read_str(black_box(dom0), "/bench/key").unwrap())
+    h.bench_function("xenstore/read", || {
+        xs.read_str(black_box(dom0), "/bench/key").unwrap();
     });
-    c.bench_function("xenstore/write", |b| {
-        b.iter(|| {
-            xs.write_str(black_box(dom0), "/bench/key", "value2")
-                .unwrap()
-        })
+    h.bench_function("xenstore/write", || {
+        xs.write_str(black_box(dom0), "/bench/key", "value2")
+            .unwrap();
     });
-    c.bench_function("xenstore/logic_restart", |b| {
-        // The cost of a XenStore-Logic microreboot (recover from State).
-        b.iter(|| xs.restart_logic())
-    });
+    // The cost of a XenStore-Logic microreboot (recover from State).
+    h.bench_function("xenstore/logic_restart", || xs.restart_logic());
 }
 
-fn bench_snapshot(c: &mut Criterion) {
+fn bench_snapshot(h: &mut Harness) {
     let (mut p, _g) = platform_with_guest();
     let nb = p.services.netbacks[0];
     p.hv.hypercall(nb, Hypercall::VmSnapshot).unwrap();
     let builder = p.services.builder;
-    c.bench_function("snapshot/rollback_one_dirty_page", |b| {
-        b.iter(|| {
-            p.hv.mem.write(nb, Pfn(1), b"dirty").unwrap();
-            p.hv.hypercall(builder, Hypercall::VmRollback { target: nb })
-                .unwrap();
-        })
+    h.bench_function("snapshot/rollback_one_dirty_page", || {
+        p.hv.mem.write(nb, Pfn(1), b"dirty").unwrap();
+        p.hv.hypercall(builder, Hypercall::VmRollback { target: nb })
+            .unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hypercalls,
-    bench_events,
-    bench_grants,
-    bench_ring_round_trip,
-    bench_xenstore,
-    bench_snapshot
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_hypercalls(&mut h);
+    bench_events(&mut h);
+    bench_grants(&mut h);
+    bench_ring_round_trip(&mut h);
+    bench_xenstore(&mut h);
+    bench_snapshot(&mut h);
+    h.emit_json();
+}

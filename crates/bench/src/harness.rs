@@ -1,0 +1,255 @@
+//! A small deterministic micro-benchmark harness.
+//!
+//! Replaces the external `criterion` crate for this workspace's bench
+//! targets. Each benchmark is calibrated once (picking a batch size
+//! that makes one sample take a few milliseconds), warmed up for one
+//! batch, then timed for a fixed number of samples; the harness reports
+//! the median and p95 per-iteration cost and can emit every result as
+//! a JSON document through `xoar-codec`.
+//!
+//! # Examples
+//!
+//! ```
+//! use xoar_bench::harness::Harness;
+//!
+//! let mut h = Harness::new().samples(10);
+//! let mut acc = 0u64;
+//! h.bench_function("wrapping_add", || {
+//!     acc = acc.wrapping_add(1);
+//! });
+//! assert_eq!(h.results().len(), 1);
+//! assert!(h.to_json().contains("wrapping_add"));
+//! ```
+
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 50;
+
+/// Target wall-clock duration of one sample batch, in nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Hard cap on the calibrated batch size.
+const MAX_BATCH: u64 = 1_000_000;
+
+/// The measured outcome of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (group-prefixed where applicable).
+    pub name: String,
+    /// Iterations per timed sample (calibrated batch size).
+    pub iterations: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median per-iteration cost, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration cost, nanoseconds.
+    pub p95_ns: f64,
+    /// Mean per-iteration cost, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration cost, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration cost, nanoseconds.
+    pub max_ns: f64,
+}
+
+xoar_codec::impl_json_struct!(BenchResult {
+    name,
+    iterations,
+    samples,
+    median_ns,
+    p95_ns,
+    mean_ns,
+    min_ns,
+    max_ns,
+});
+
+/// Runs benchmarks and accumulates their results.
+#[derive(Debug, Default)]
+pub struct Harness {
+    samples: Option<usize>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the number of timed samples for subsequent benchmarks.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark: calibrate, warm up, time, record, print.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut()) -> &BenchResult {
+        let samples = self.samples.unwrap_or(DEFAULT_SAMPLES);
+        let result = run_bench(name, samples, f);
+        println!(
+            "bench  {:<44} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples x {} iters)",
+            result.name, result.median_ns, result.p95_ns, result.samples, result.iterations
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Starts a named group; benchmarks run through it get a
+    /// `group/name` prefix and may override the sample count.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: name.to_string(),
+            samples: None,
+        }
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialises every result as a JSON document (`{"results":[...]}`).
+    pub fn to_json(&self) -> String {
+        use xoar_codec::{Json, ToJson};
+        let arr = Json::Arr(self.results.iter().map(|r| r.to_json()).collect());
+        let doc = Json::Obj(vec![("results".to_string(), arr)]);
+        xoar_codec::to_string(&doc)
+    }
+
+    /// Prints the JSON document on stdout (the machine-readable tail of
+    /// a bench run).
+    pub fn emit_json(&self) {
+        println!("{}", self.to_json());
+    }
+}
+
+/// A named benchmark group (criterion-style API shim).
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+    samples: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark under the group's prefix.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut()) {
+        let samples = self
+            .samples
+            .or(self.harness.samples)
+            .unwrap_or(DEFAULT_SAMPLES);
+        let full = format!("{}/{name}", self.prefix);
+        let result = run_bench(&full, samples, f);
+        println!(
+            "bench  {:<44} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples x {} iters)",
+            result.name, result.median_ns, result.p95_ns, result.samples, result.iterations
+        );
+        self.harness.results.push(result);
+    }
+
+    /// Ends the group (no-op; kept for call-site symmetry).
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
+    // Calibrate: size the batch so one sample takes ~TARGET_SAMPLE_NS.
+    let once = {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_nanos().max(1)
+    };
+    let iterations = ((TARGET_SAMPLE_NS / once).max(1) as u64).min(MAX_BATCH);
+
+    // Warm up for one full batch.
+    for _ in 0..iterations {
+        f();
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iterations {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iterations as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let median = percentile(&per_iter, 50.0);
+    let p95 = percentile(&per_iter, 95.0);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    BenchResult {
+        name: name.to_string(),
+        iterations,
+        samples,
+        median_ns: median,
+        p95_ns: p95,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().expect("samples >= 1"),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn bench_records_and_serialises() {
+        let mut h = Harness::new().samples(5);
+        let mut acc = 0u64;
+        h.bench_function("noop_add", || {
+            acc = acc.wrapping_add(1);
+        });
+        assert!(acc > 0, "the closure really ran");
+        let r = &h.results()[0];
+        assert_eq!(r.name, "noop_add");
+        assert_eq!(r.samples, 5);
+        assert!(r.iterations >= 1);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        let json = h.to_json();
+        assert!(
+            json.starts_with(r#"{"results":[{"name":"noop_add""#),
+            "{json}"
+        );
+        // The document parses back through the codec.
+        let parsed = xoar_codec::parse(&json).unwrap();
+        assert!(parsed.get("results").is_some());
+    }
+
+    #[test]
+    fn groups_prefix_names_and_override_samples() {
+        let mut h = Harness::new();
+        let mut group = h.group("ablation");
+        group.sample_size(3);
+        group.bench_function("fast_path", || {});
+        group.finish();
+        let r = &h.results()[0];
+        assert_eq!(r.name, "ablation/fast_path");
+        assert_eq!(r.samples, 3);
+    }
+}

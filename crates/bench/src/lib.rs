@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// Prints a table header followed by a separator row.
 pub fn header(title: &str, columns: &[&str]) {
     println!("\n== {title} ==");

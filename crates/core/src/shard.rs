@@ -8,12 +8,10 @@
 //! OS, parent, dependencies) and Table 6.1 (memory reservation), plus the
 //! per-VM `shard` configuration block of §3.1.
 
-use serde::{Deserialize, Serialize};
-
 use xoar_hypervisor::{HypercallId, PciAddress};
 
 /// The nine shard classes of Xoar's decomposition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ShardKind {
     /// Coordinates booting of the rest of the system; self-destructs.
     Bootstrapper,
@@ -37,8 +35,21 @@ pub enum ShardKind {
     QemuVm,
 }
 
+xoar_codec::impl_json_enum!(ShardKind {
+    Bootstrapper,
+    XenStoreLogic,
+    XenStoreState,
+    ConsoleManager,
+    Builder,
+    PciBack,
+    NetBack,
+    BlkBack,
+    Toolstack,
+    QemuVm,
+});
+
 /// Shard lifetime classes from Table 5.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lifetime {
     /// Alive only during system boot, then destroyed (self-destructing).
     BootUp,
@@ -50,8 +61,15 @@ pub enum Lifetime {
     GuestVm,
 }
 
+xoar_codec::impl_json_enum!(Lifetime {
+    BootUp,
+    Forever,
+    ForeverRestartable,
+    GuestVm,
+});
+
 /// The OS a shard is built on (§5.7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardOs {
     /// nanOS: minimal, single-threaded, amenable to static analysis.
     NanOs,
@@ -60,6 +78,12 @@ pub enum ShardOs {
     /// A full paravirtualised Linux.
     Linux,
 }
+
+xoar_codec::impl_json_enum!(ShardOs {
+    NanOs,
+    MiniOs,
+    Linux
+});
 
 /// Static description of one shard class (one row of Table 5.1 + 6.1).
 ///
@@ -73,7 +97,7 @@ pub enum ShardOs {
 /// assert!(netback.restartable());
 /// assert!(netback.hypercall_whitelist().is_empty());
 /// ```
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// The class.
     pub kind: ShardKind,
@@ -94,6 +118,19 @@ pub struct ShardSpec {
     /// One-line functionality description.
     pub functionality: &'static str,
 }
+
+// Encode-only: the `&'static` fields cannot be materialised by a decoder.
+xoar_codec::impl_to_json_struct!(ShardSpec {
+    kind,
+    name,
+    privileged,
+    lifetime,
+    os,
+    parent,
+    depends_on,
+    memory_mib,
+    functionality,
+});
 
 impl ShardSpec {
     /// The full decomposition of Table 5.1 with Table 6.1 memory figures.
@@ -317,7 +354,7 @@ impl ShardSpec {
 /// The `shard` block of a VM config file (§3.1): "This block indicates
 /// that the VM can be assigned additional privileges and contains
 /// parameters that describe these capabilities."
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ShardConfigBlock {
     /// `assign_pci_device(domain, bus, slot)` entries.
     pub pci_devices: Vec<PciAddress>,
@@ -327,13 +364,21 @@ pub struct ShardConfigBlock {
     pub delegate_to: Vec<String>,
 }
 
+xoar_codec::impl_json_struct!(ShardConfigBlock {
+    pci_devices,
+    hypercalls,
+    delegate_to
+});
+
 /// Per-guest sharing constraints (§3.2.1).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConstraintTag {
     /// The `constrain_group` parameter: shards serving this VM may only be
     /// shared with VMs carrying the same tag.
     pub group: Option<String>,
 }
+
+xoar_codec::impl_json_struct!(ConstraintTag { group });
 
 impl ConstraintTag {
     /// A tag restricting sharing to `group`.

@@ -13,14 +13,12 @@
 //! "resource usage quotas enforced by the virtualization platform"), and
 //! proxied disk-image administration via BlkBack's daemon (§5.4).
 
-use serde::{Deserialize, Serialize};
-
 use xoar_hypervisor::{DomId, DomainState, HvError, HvResult, Hypercall};
 
 use crate::platform::{GuestConfig, Platform};
 
 /// Per-toolstack resource quotas (private-cloud slices, §3.4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceQuota {
     /// Maximum concurrently running VMs.
     pub max_vms: usize,
@@ -29,6 +27,12 @@ pub struct ResourceQuota {
     /// Maximum total virtual disk bytes.
     pub max_disk_bytes: u64,
 }
+
+xoar_codec::impl_json_struct!(ResourceQuota {
+    max_vms,
+    max_memory_mib,
+    max_disk_bytes
+});
 
 impl ResourceQuota {
     /// An effectively unlimited quota (public-cloud single toolstack).

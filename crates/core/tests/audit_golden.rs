@@ -1,0 +1,99 @@
+//! Golden-file pin of the audit log's on-wire format.
+//!
+//! The audit log is an *off-host* sink: records written by one build must
+//! verify under every later build, so the JSON-lines byte format and the
+//! FNV-1a chain hashes are load-bearing. The constants below were
+//! produced with `serde_json`-compatible encoding (compact output, struct
+//! fields in declaration order, externally tagged enums) and an
+//! independent FNV-1a implementation; if `xoar-codec` or `chain_hash`
+//! ever drifts, these tests fail before any persisted log does.
+
+use xoar_core::audit::{AuditEvent, AuditLog, AuditRecord};
+use xoar_core::shard::ShardKind;
+use xoar_hypervisor::DomId;
+
+/// Exact bytes of `AuditLog::to_json_lines` for [`golden_log`].
+const GOLDEN_LINES: [&str; 5] = [
+    r#"{"seq":0,"at_ns":1000,"event":{"VmCreated":{"guest":5,"name":"web \"fe\"\n\t\\ x\u0001","toolstack":3}},"prev_hash":0,"hash":14923030035726655011}"#,
+    r#"{"seq":1,"at_ns":2500,"event":{"ShardLinked":{"guest":5,"shard":7,"kind":"NetBack","release":"netback-1.0"}},"prev_hash":14923030035726655011,"hash":7902263110563374993}"#,
+    r#"{"seq":2,"at_ns":3750,"event":{"ShardRestarted":{"shard":7,"pages_restored":42}},"prev_hash":7902263110563374993,"hash":14879105088588695091}"#,
+    r#"{"seq":3,"at_ns":5000,"event":{"ShardUnlinked":{"guest":5,"shard":7}},"prev_hash":14879105088588695091,"hash":15598698748109748790}"#,
+    r#"{"seq":4,"at_ns":9999,"event":{"VmDestroyed":{"guest":5}},"prev_hash":15598698748109748790,"hash":12953568282839094991}"#,
+];
+
+/// The same chain hashes, independently computed.
+const GOLDEN_HASHES: [u64; 5] = [
+    0xcf19_40c0_7bf8_de23,
+    0x6daa_7a6e_5acd_a791,
+    0xce7d_333e_c509_4633,
+    0xd879_b5dd_af69_7a36,
+    0xb3c4_51b8_e864_16cf,
+];
+
+/// A log exercising every encoding edge the wire format has: string
+/// escapes (quote, backslash, `\n`, `\t`, a raw control byte), an enum
+/// payload nested in a struct, and u64 hash values above `i64::MAX`.
+fn golden_log() -> AuditLog {
+    let mut log = AuditLog::new();
+    log.append(
+        1_000,
+        AuditEvent::VmCreated {
+            guest: DomId(5),
+            name: "web \"fe\"\n\t\\ x\u{1}".to_string(),
+            toolstack: DomId(3),
+        },
+    );
+    log.append(
+        2_500,
+        AuditEvent::ShardLinked {
+            guest: DomId(5),
+            shard: DomId(7),
+            kind: ShardKind::NetBack,
+            release: "netback-1.0".to_string(),
+        },
+    );
+    log.append(
+        3_750,
+        AuditEvent::ShardRestarted {
+            shard: DomId(7),
+            pages_restored: 42,
+        },
+    );
+    log.append(
+        5_000,
+        AuditEvent::ShardUnlinked {
+            guest: DomId(5),
+            shard: DomId(7),
+        },
+    );
+    log.append(9_999, AuditEvent::VmDestroyed { guest: DomId(5) });
+    log
+}
+
+#[test]
+fn json_lines_bytes_are_pinned() {
+    let log = golden_log();
+    assert_eq!(log.to_json_lines(), GOLDEN_LINES.join("\n"));
+}
+
+#[test]
+fn chain_hashes_are_pinned() {
+    let log = golden_log();
+    let records = log.records();
+    assert_eq!(records.len(), GOLDEN_HASHES.len());
+    for (r, &expect) in records.iter().zip(&GOLDEN_HASHES) {
+        assert_eq!(r.hash, expect, "hash drifted at seq {}", r.seq);
+    }
+    for pair in records.windows(2) {
+        assert_eq!(pair[1].prev_hash, pair[0].hash);
+    }
+    assert_eq!(log.verify_chain(), Ok(()));
+}
+
+#[test]
+fn golden_lines_parse_back_to_identical_bytes() {
+    for line in GOLDEN_LINES {
+        let record: AuditRecord = xoar_codec::from_str(line).expect("golden line parses");
+        assert_eq!(xoar_codec::to_string(&record), line);
+    }
+}

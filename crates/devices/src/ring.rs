@@ -322,13 +322,15 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
-    proptest! {
-        /// Slot occupancy never exceeds capacity under arbitrary
-        /// interleavings of push/pop/respond.
-        #[test]
-        fn slots_bounded(ops in proptest::collection::vec(0u8..3, 1..200), slots in 1usize..16) {
+    /// Slot occupancy never exceeds capacity under arbitrary
+    /// interleavings of push/pop/respond.
+    #[test]
+    fn slots_bounded() {
+        Runner::cases(64).run("slot occupancy is bounded", |g| {
+            let ops = g.vec(1..200, |g| g.u8(0..3));
+            let slots = g.usize(1..16);
             let mut ring: Ring<u64, u64> = Ring::new(slots);
             let mut seq = 0u64;
             for op in ops {
@@ -346,25 +348,28 @@ mod proptests {
                         }
                     }
                 }
-                prop_assert!(ring.pending_requests() + ring.in_flight() <= slots);
+                assert!(ring.pending_requests() + ring.in_flight() <= slots);
             }
-        }
+        });
+    }
 
-        /// FIFO order is preserved end to end.
-        #[test]
-        fn fifo_order(n in 1usize..20) {
+    /// FIFO order is preserved end to end.
+    #[test]
+    fn fifo_order() {
+        Runner::cases(64).run("FIFO order end to end", |g| {
+            let n = g.usize(1..20);
             let mut ring: Ring<usize, usize> = Ring::new(n);
             for i in 0..n {
                 ring.push_request(i).unwrap();
             }
             for i in 0..n {
                 let req = ring.pop_request().unwrap();
-                prop_assert_eq!(req, i);
+                assert_eq!(req, i);
                 ring.push_response(req * 2).unwrap();
             }
             for i in 0..n {
-                prop_assert_eq!(ring.pop_response().unwrap(), i * 2);
+                assert_eq!(ring.pop_response().unwrap(), i * 2);
             }
-        }
+        });
     }
 }

@@ -12,8 +12,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::privilege::PrivilegeSet;
 
 /// A domain identifier.
@@ -22,10 +20,10 @@ use crate::privilege::PrivilegeSet;
 /// and several legacy interfaces hard-code comparisons against it
 /// (§5.8 of the paper). Xoar keeps the numbering but removes the implicit
 /// privileges attached to it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DomId(pub u32);
+
+xoar_codec::impl_json_newtype!(DomId(u32));
 
 impl DomId {
     /// The well-known ID of the control VM in stock Xen.
@@ -48,7 +46,7 @@ impl fmt::Display for DomId {
 /// Mirrors Xen's domain states; `Snapshotted` is Xoar's addition for
 /// components that have taken a [`crate::snapshot`] image and may be rolled
 /// back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DomainState {
     /// Memory image being constructed by the builder; not yet runnable.
     Building,
@@ -64,6 +62,15 @@ pub enum DomainState {
     Snapshotted,
 }
 
+xoar_codec::impl_json_enum!(DomainState {
+    Building,
+    Running,
+    Paused,
+    Dying,
+    Dead,
+    Snapshotted,
+});
+
 impl DomainState {
     /// Whether the domain can issue hypercalls in this state.
     pub fn can_issue_hypercalls(self) -> bool {
@@ -77,7 +84,7 @@ impl DomainState {
 }
 
 /// A virtual CPU belonging to a domain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vcpu {
     /// Index of this VCPU within its domain.
     pub id: u32,
@@ -86,6 +93,12 @@ pub struct Vcpu {
     /// Accumulated scheduled time in nanoseconds (simulation time).
     pub cpu_time_ns: u64,
 }
+
+xoar_codec::impl_json_struct!(Vcpu {
+    id,
+    online,
+    cpu_time_ns
+});
 
 impl Vcpu {
     /// Creates a new offline VCPU.
@@ -103,7 +116,7 @@ impl Vcpu {
 /// This is descriptive metadata used by the platform layers and the audit
 /// log; the hypervisor itself enforces nothing based on it (trust derives
 /// solely from the [`PrivilegeSet`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DomainRole {
     /// The monolithic control VM of stock Xen.
     ControlVm,
@@ -112,6 +125,12 @@ pub enum DomainRole {
     /// A tenant guest VM.
     Guest,
 }
+
+xoar_codec::impl_json_enum!(DomainRole {
+    ControlVm,
+    Shard,
+    Guest,
+});
 
 /// Per-domain bookkeeping held by the hypervisor.
 #[derive(Debug, Clone)]

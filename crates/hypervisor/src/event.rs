@@ -14,13 +14,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomId;
 use crate::error::{EventError, HvResult};
 
 /// Kinds of virtual IRQ the hypervisor can deliver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VirqKind {
     /// Periodic timer tick.
     Timer,
@@ -31,6 +29,13 @@ pub enum VirqKind {
     /// A domain has been destroyed (toolstack wakeups).
     DomExc,
 }
+
+xoar_codec::impl_json_enum!(VirqKind {
+    Timer,
+    Console,
+    Debug,
+    DomExc,
+});
 
 /// State of one port in a domain's event-channel table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -455,13 +460,14 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
-    proptest! {
-        /// Every event sent while unmasked is delivered exactly once, in
-        /// FIFO order.
-        #[test]
-        fn delivery_is_exactly_once(n in 1usize..100) {
+    /// Every event sent while unmasked is delivered exactly once, in
+    /// FIFO order.
+    #[test]
+    fn delivery_is_exactly_once() {
+        Runner::cases(64).run("delivery is exactly once", |g| {
+            let n = g.usize(1..100);
             let mut ev = EventChannels::new();
             let (a, b) = (DomId(1), DomId(2));
             ev.register_domain(a);
@@ -473,24 +479,28 @@ mod proptests {
             }
             let mut received = 0;
             while let Some(e) = ev.poll(b) {
-                prop_assert_eq!(e.port, pb);
+                assert_eq!(e.port, pb);
                 received += 1;
             }
-            prop_assert_eq!(received, n);
-        }
+            assert_eq!(received, n);
+        });
+    }
 
-        /// The handshake is symmetric: after binding, both sides report
-        /// each other as peers.
-        #[test]
-        fn handshake_symmetry(a_id in 1u32..50, b_id in 51u32..100) {
+    /// The handshake is symmetric: after binding, both sides report
+    /// each other as peers.
+    #[test]
+    fn handshake_symmetry() {
+        Runner::cases(64).run("handshake symmetry", |g| {
+            let a_id = g.u32(1..50);
+            let b_id = g.u32(51..100);
             let mut ev = EventChannels::new();
             let (a, b) = (DomId(a_id), DomId(b_id));
             ev.register_domain(a);
             ev.register_domain(b);
             let pa = ev.alloc_unbound(a, b).unwrap();
             ev.bind_interdomain(b, a, pa).unwrap();
-            prop_assert_eq!(ev.peers_of(a), vec![b]);
-            prop_assert_eq!(ev.peers_of(b), vec![a]);
-        }
+            assert_eq!(ev.peers_of(a), vec![b]);
+            assert_eq!(ev.peers_of(b), vec![a]);
+        });
     }
 }

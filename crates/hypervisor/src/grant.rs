@@ -12,18 +12,18 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomId;
 use crate::error::{GrantError, HvResult};
 use crate::memory::{Mfn, Pfn};
 
 /// A grant reference: an index into the granting domain's table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GrantRef(pub u32);
 
+xoar_codec::impl_json_newtype!(GrantRef(u32));
+
 /// Access mode carried by a grant entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GrantAccess {
     /// Grantee may only read the page.
     ReadOnly,
@@ -32,6 +32,12 @@ pub enum GrantAccess {
     /// Ownership of the page is offered to the grantee (page flipping).
     Transfer,
 }
+
+xoar_codec::impl_json_enum!(GrantAccess {
+    ReadOnly,
+    ReadWrite,
+    Transfer,
+});
 
 /// One entry in a grant table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -400,50 +406,70 @@ mod transfer_tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
-    proptest! {
-        /// Mapping then unmapping any number of times leaves the table
-        /// with zero active mappings, and end_access then succeeds.
-        #[test]
-        fn map_unmap_balanced(n in 1usize..50) {
+    /// Mapping then unmapping any number of times leaves the table
+    /// with zero active mappings, and end_access then succeeds.
+    #[test]
+    fn map_unmap_balanced() {
+        Runner::cases(64).run("map/unmap balanced", |g| {
+            let n = g.usize(1..50);
             let mut t = GrantTable::new();
-            let gref = t.grant(DomId(2), Pfn(0), Mfn(7), GrantAccess::ReadWrite).unwrap();
+            let gref = t
+                .grant(DomId(2), Pfn(0), Mfn(7), GrantAccess::ReadWrite)
+                .unwrap();
             for _ in 0..n {
                 t.map(DomId(2), gref).unwrap();
             }
             for _ in 0..n {
                 t.unmap(DomId(2), gref).unwrap();
             }
-            prop_assert_eq!(t.active_mappings(), 0);
-            prop_assert!(t.end_access(gref).is_ok());
-        }
+            assert_eq!(t.active_mappings(), 0);
+            assert!(t.end_access(gref).is_ok());
+        });
+    }
 
-        /// No sequence of grants ever exceeds the configured capacity.
-        #[test]
-        fn capacity_invariant(cap in 1u32..64, attempts in 1usize..200) {
+    /// No sequence of grants ever exceeds the configured capacity.
+    #[test]
+    fn capacity_invariant() {
+        Runner::cases(64).run("capacity invariant", |g| {
+            let cap = g.u32(1..64);
+            let attempts = g.usize(1..200);
             let mut t = GrantTable::with_capacity(cap);
             let mut ok = 0usize;
             for i in 0..attempts {
-                if t.grant(DomId(2), Pfn(i as u64), Mfn(i as u64), GrantAccess::ReadOnly).is_ok() {
+                if t.grant(
+                    DomId(2),
+                    Pfn(i as u64),
+                    Mfn(i as u64),
+                    GrantAccess::ReadOnly,
+                )
+                .is_ok()
+                {
                     ok += 1;
                 }
             }
-            prop_assert!(ok as u32 <= cap);
-            prop_assert!(t.len() as u32 <= cap);
-        }
+            assert!(ok as u32 <= cap);
+            assert!(t.len() as u32 <= cap);
+        });
+    }
 
-        /// A grantee other than the one named in the entry can never map it.
-        #[test]
-        fn only_grantee_maps(grantee in 1u32..10, caller in 1u32..10) {
+    /// A grantee other than the one named in the entry can never map it.
+    #[test]
+    fn only_grantee_maps() {
+        Runner::cases(64).run("only the grantee maps", |g| {
+            let grantee = g.u32(1..10);
+            let caller = g.u32(1..10);
             let mut t = GrantTable::new();
-            let gref = t.grant(DomId(grantee), Pfn(0), Mfn(1), GrantAccess::ReadOnly).unwrap();
+            let gref = t
+                .grant(DomId(grantee), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
+                .unwrap();
             let res = t.map(DomId(caller), gref);
             if caller == grantee {
-                prop_assert!(res.is_ok());
+                assert!(res.is_ok());
             } else {
-                prop_assert!(res.is_err());
+                assert!(res.is_err());
             }
-        }
+        });
     }
 }

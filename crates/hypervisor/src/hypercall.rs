@@ -11,8 +11,6 @@
 //! [`Hypercall`] carries the full argument payloads and is dispatched by
 //! [`crate::hypervisor::Hypervisor::hypercall`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomId;
 use crate::event::VirqKind;
 use crate::grant::{GrantAccess, GrantRef};
@@ -26,7 +24,7 @@ use crate::privilege::{IoPortRange, MmioRange, PciAddress};
 /// single hypercall may carry "dozens of sub-operations"; we surface the
 /// security-relevant sub-operations as distinct IDs so least privilege can
 /// be expressed at the granularity Xoar requires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum HypercallId {
     // -- Unprivileged: available to every guest --
@@ -101,6 +99,42 @@ pub enum HypercallId {
     /// Reboot or power off the host.
     PlatformReboot,
 }
+
+xoar_codec::impl_json_enum!(HypercallId {
+    EvtchnSend,
+    EvtchnAllocUnbound,
+    EvtchnBindInterdomain,
+    EvtchnBindVirq,
+    EvtchnClose,
+    GnttabSetup,
+    SchedOp,
+    ConsoleIo,
+    XenVersion,
+    MmuUpdateSelf,
+    VmSnapshot,
+    DomctlCreateDomain,
+    DomctlDestroyDomain,
+    DomctlPauseDomain,
+    DomctlUnpauseDomain,
+    DomctlSetMaxMem,
+    DomctlSetVcpus,
+    DomctlSetRole,
+    DomctlAssignDevice,
+    DomctlDelegate,
+    DomctlSetPrivilegedFor,
+    DomctlIoPortPermission,
+    DomctlMmioPermission,
+    DomctlIrqPermission,
+    DomctlPermitHypercall,
+    MmuMapForeign,
+    MmuWriteForeign,
+    MemoryPopulate,
+    GnttabMapGrantRef,
+    GnttabForeignSetup,
+    VmRollback,
+    SysctlPhysinfo,
+    PlatformReboot,
+});
 
 impl HypercallId {
     /// Whether the call requires whitelisting.

@@ -17,14 +17,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::domain::DomId;
 use crate::hypercall::HypercallId;
 
 /// Address of a device on the PCI bus: `(domain, bus, slot)` as in the
 /// paper's `assign_pci_device(PCI domain, bus, slot)` API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PciAddress {
     /// PCI segment/domain.
     pub domain: u16,
@@ -33,6 +31,8 @@ pub struct PciAddress {
     /// Slot (device) number.
     pub slot: u8,
 }
+
+xoar_codec::impl_json_struct!(PciAddress { domain, bus, slot });
 
 impl PciAddress {
     /// Creates a PCI address.
@@ -48,13 +48,15 @@ impl fmt::Display for PciAddress {
 }
 
 /// An inclusive range of x86 I/O ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct IoPortRange {
     /// First port in the range.
     pub start: u16,
     /// Last port in the range (inclusive).
     pub end: u16,
 }
+
+xoar_codec::impl_json_struct!(IoPortRange { start, end });
 
 impl IoPortRange {
     /// Creates a range; `start` must not exceed `end`.
@@ -70,13 +72,15 @@ impl IoPortRange {
 }
 
 /// An MMIO region expressed in machine frame numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct MmioRange {
     /// First frame of the region.
     pub start_mfn: u64,
     /// Number of frames.
     pub frames: u64,
 }
+
+xoar_codec::impl_json_struct!(MmioRange { start_mfn, frames });
 
 impl MmioRange {
     /// Whether `mfn` lies within the region.
@@ -91,7 +95,7 @@ impl MmioRange {
 /// privileged hypercalls, no delegation. Stock Xen's Dom0 is modelled by
 /// [`PrivilegeSet::dom0`], which holds everything — the "monolithic trust
 /// domain" of Figure 2.1.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrivilegeSet {
     /// PCI devices passed through to this domain.
     pub pci_devices: BTreeSet<PciAddress>,
@@ -110,6 +114,16 @@ pub struct PrivilegeSet {
     /// "Dom0 privilege"; in Xoar only the Builder holds this).
     pub map_foreign_any: bool,
 }
+
+xoar_codec::impl_json_struct!(PrivilegeSet {
+    pci_devices,
+    hypercalls,
+    delegated_to,
+    io_ports,
+    mmio,
+    irqs,
+    map_foreign_any,
+});
 
 impl PrivilegeSet {
     /// The blanket privilege set of stock Xen's Dom0.

@@ -294,31 +294,36 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
-    proptest! {
-        /// Total granted time never exceeds period * physical CPUs.
-        #[test]
-        fn conservation_of_cpu(
-            weights in proptest::collection::vec(1u32..1024, 1..10),
-            cpus in 1u32..8,
-            period_ms in 1u64..50,
-        ) {
+    /// Total granted time never exceeds period * physical CPUs.
+    #[test]
+    fn conservation_of_cpu() {
+        Runner::cases(64).run("conservation of CPU", |g| {
+            let weights = g.vec(1..10, |g| g.u32(1..1024));
+            let cpus = g.u32(1..8);
+            let period_ms = g.u64(1..50);
             let mut s = CreditScheduler::new(cpus);
             for (i, w) in weights.iter().enumerate() {
                 let d = DomId(i as u32 + 1);
                 s.add_domain(d);
-                s.set_params(d, SchedParams { weight: *w, cap_percent: 0 });
+                s.set_params(
+                    d,
+                    SchedParams {
+                        weight: *w,
+                        cap_percent: 0,
+                    },
+                );
                 s.set_runnable(d, true);
             }
             let period = period_ms * 1_000_000;
             let granted = s.account(period);
             let total: u64 = granted.values().sum();
-            prop_assert!(total <= period * cpus as u64);
+            assert!(total <= period * cpus as u64);
             // And nobody exceeds a single CPU.
             for v in granted.values() {
-                prop_assert!(*v <= period);
+                assert!(*v <= period);
             }
-        }
+        });
     }
 }

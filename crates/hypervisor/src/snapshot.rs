@@ -278,22 +278,24 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
-    proptest! {
-        /// After any sequence of writes followed by a rollback, every page
-        /// outside recovery boxes equals its snapshot-time contents.
-        #[test]
-        fn rollback_restores_baseline(
-            writes in proptest::collection::vec((0u64..8, proptest::collection::vec(any::<u8>(), 0..32)), 0..20)
-        ) {
+    /// After any sequence of writes followed by a rollback, every page
+    /// outside recovery boxes equals its snapshot-time contents.
+    #[test]
+    fn rollback_restores_baseline() {
+        Runner::cases(48).run("rollback restores baseline", |g| {
+            let writes = g.vec(0..20, |g| {
+                (g.u64(0..8), g.vec(0..32, |g| g.u64(0..256) as u8))
+            });
             let mut mem = MemoryManager::new(64);
             let dom = DomId(1);
             mem.populate(dom, 8).unwrap();
             let mut sm = SnapshotManager::new();
             // Baseline contents.
             for pfn in 0..8u64 {
-                mem.write(dom, Pfn(pfn), format!("base{pfn}").as_bytes()).unwrap();
+                mem.write(dom, Pfn(pfn), format!("base{pfn}").as_bytes())
+                    .unwrap();
             }
             sm.snapshot(dom, &mut mem, 0).unwrap();
             for (pfn, data) in &writes {
@@ -301,19 +303,20 @@ mod proptests {
             }
             sm.rollback(dom, &mut mem).unwrap();
             for pfn in 0..8u64 {
-                prop_assert_eq!(
+                assert_eq!(
                     mem.read(dom, Pfn(pfn)).unwrap(),
                     format!("base{pfn}").into_bytes()
                 );
             }
-        }
+        });
+    }
 
-        /// The number of restored frames never exceeds the number of
-        /// distinct pages written (CoW proportionality).
-        #[test]
-        fn rollback_cost_proportional_to_dirty(
-            pfns in proptest::collection::vec(0u64..8, 0..30)
-        ) {
+    /// The number of restored frames never exceeds the number of
+    /// distinct pages written (CoW proportionality).
+    #[test]
+    fn rollback_cost_proportional_to_dirty() {
+        Runner::cases(64).run("rollback cost proportional to dirty pages", |g| {
+            let pfns = g.vec(0..30, |g| g.u64(0..8));
             let mut mem = MemoryManager::new(64);
             let dom = DomId(1);
             mem.populate(dom, 8).unwrap();
@@ -326,7 +329,7 @@ mod proptests {
             distinct.sort_unstable();
             distinct.dedup();
             let restored = sm.rollback(dom, &mut mem).unwrap();
-            prop_assert_eq!(restored, distinct.len() as u64);
-        }
+            assert_eq!(restored, distinct.len() as u64);
+        });
     }
 }

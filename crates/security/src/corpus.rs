@@ -19,10 +19,8 @@
 //! marginals; identifiers are synthetic (`XVE-*`) because the thesis does
 //! not enumerate the underlying CVE numbers.
 
-use serde::{Deserialize, Serialize};
-
 /// Where an attack lands: the component whose interface is exploited.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackVector {
     /// The QEMU device-emulation layer.
     DeviceEmulation,
@@ -38,8 +36,17 @@ pub enum AttackVector {
     Hypervisor,
 }
 
+xoar_codec::impl_json_enum!(AttackVector {
+    DeviceEmulation,
+    VirtualizedDevice,
+    Management,
+    XenStore,
+    DebugRegister,
+    Hypervisor,
+});
+
 /// What a successful exploit yields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackEffect {
     /// Arbitrary code execution with the component's privileges.
     CodeExecution,
@@ -47,8 +54,13 @@ pub enum AttackEffect {
     DenialOfService,
 }
 
+xoar_codec::impl_json_enum!(AttackEffect {
+    CodeExecution,
+    DenialOfService
+});
+
 /// One corpus entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vulnerability {
     /// Synthetic identifier.
     pub id: String,
@@ -73,6 +85,16 @@ pub struct Vulnerability {
     /// reproduced.
     pub attack_count: u32,
 }
+
+xoar_codec::impl_json_struct!(Vulnerability {
+    id,
+    vector,
+    effect,
+    guest_originated,
+    targets_xen,
+    fixed_in_baseline,
+    attack_count,
+});
 
 /// Builds the full 44-entry corpus with the paper's marginals.
 pub fn corpus() -> Vec<Vulnerability> {

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod des;
+pub mod prop;
 pub mod rng;
 pub mod tcp;
 pub mod workloads;

@@ -1,0 +1,375 @@
+//! A minimal in-tree property-test harness.
+//!
+//! Replaces the external `proptest` crate for this workspace's needs:
+//! seeded random case generation on top of [`SimRng`](crate::SimRng),
+//! plus Hypothesis-style shrinking. Every random decision a property
+//! makes is drawn through a [`Gen`], which records the raw choice
+//! sequence; when a case fails, the runner replays systematically
+//! simplified sequences (deleting spans, zeroing and halving values)
+//! and reports the smallest sequence that still fails.
+//!
+//! Properties are plain closures using the standard `assert!` family;
+//! a failing case is surfaced as a panic carrying the seed, the case
+//! index, and the shrunken choice sequence, so it can be replayed with
+//! [`Runner::check_replay`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xoar_sim::prop::Runner;
+//!
+//! Runner::cases(32).run("addition commutes", |g| {
+//!     let a = g.u64(0..1000);
+//!     let b = g.u64(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Default seed for [`Runner`]s that do not set one explicitly.
+///
+/// Fixed so test runs are reproducible without wall-clock entropy.
+pub const DEFAULT_SEED: u64 = 0x0a0b_5eed_c0de_2011;
+
+/// The source of randomness handed to a property.
+///
+/// In *generation* mode it draws fresh values from a [`SimRng`] and
+/// records each raw draw; in *replay* mode it feeds back a previously
+/// recorded (possibly shrunken) sequence, returning `0` once the
+/// sequence is exhausted so shortened sequences stay valid.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Option<SimRng>,
+    replay: Vec<u64>,
+    cursor: usize,
+    taken: Vec<u64>,
+}
+
+impl Gen {
+    fn random(seed: u64) -> Self {
+        Gen {
+            rng: Some(SimRng::new(seed)),
+            replay: Vec::new(),
+            cursor: 0,
+            taken: Vec::new(),
+        }
+    }
+
+    fn from_choices(choices: &[u64]) -> Self {
+        Gen {
+            rng: None,
+            replay: choices.to_vec(),
+            cursor: 0,
+            taken: Vec::new(),
+        }
+    }
+
+    /// One raw draw: the unit the shrinker operates on.
+    fn draw(&mut self) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => rng.next_u64(),
+            None => {
+                let v = self.replay.get(self.cursor).copied().unwrap_or(0);
+                self.cursor += 1;
+                v
+            }
+        };
+        self.taken.push(v);
+        v
+    }
+
+    /// Uniform `u64` in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.draw() % span
+    }
+
+    /// Uniform `u32` in `lo..hi`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.u64(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Uniform `u8` in `lo..hi`.
+    pub fn u8(&mut self, range: Range<u8>) -> u8 {
+        self.u64(range.start as u64..range.end as u64) as u8
+    }
+
+    /// Uniform `usize` in `lo..hi`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `f64` in `lo..hi` (shrinks toward `lo`).
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        let unit = (self.draw() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+
+    /// Bernoulli draw (shrinks toward `false`).
+    pub fn bool(&mut self) -> bool {
+        self.draw() & 1 == 1
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(0..items.len())]
+    }
+
+    /// A vector with length drawn from `len` and elements from `item`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut item: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| item(self)).collect()
+    }
+}
+
+/// Runs a property over many generated cases, shrinking failures.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    cases: u32,
+    seed: u64,
+}
+
+/// Maximum number of extra property executions the shrinker may spend.
+const SHRINK_BUDGET: u32 = 2000;
+
+impl Runner {
+    /// A runner executing `cases` generated cases.
+    pub fn cases(cases: u32) -> Self {
+        Runner {
+            cases,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Overrides the base seed (each case perturbs it deterministically).
+    pub fn seed(self, seed: u64) -> Self {
+        Runner { seed, ..self }
+    }
+
+    /// Runs `property` over the configured number of cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, after shrinking, with a message
+    /// naming the property, the seed, and the minimal choice sequence.
+    pub fn run(&self, name: &str, mut property: impl FnMut(&mut Gen)) {
+        for case in 0..self.cases {
+            let case_seed = SimRng::new(self.seed ^ case as u64).next_u64();
+            let mut g = Gen::random(case_seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+            if outcome.is_err() {
+                let minimal = shrink(g.taken.clone(), &mut property);
+                panic!(
+                    "property '{name}' failed (seed {:#x}, case {case}/{}); \
+                     minimal choice sequence {:?} — replay with \
+                     Runner::check_replay(&{:?}, ...)",
+                    self.seed, self.cases, minimal, minimal
+                );
+            }
+        }
+    }
+
+    /// Replays one explicit choice sequence (no generation, no shrink).
+    ///
+    /// Returns `Err` with the panic payload's message if the property
+    /// fails on this sequence; used to pin shrunken counterexamples as
+    /// regression tests.
+    pub fn check_replay(choices: &[u64], mut property: impl FnMut(&mut Gen)) -> Result<(), String> {
+        let mut g = Gen::from_choices(choices);
+        match catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            Ok(()) => Ok(()),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Whether `property` still fails when replayed on `choices`.
+fn still_fails(choices: &[u64], property: &mut impl FnMut(&mut Gen)) -> bool {
+    let mut g = Gen::from_choices(choices);
+    catch_unwind(AssertUnwindSafe(|| property(&mut g))).is_err()
+}
+
+/// Greedy choice-sequence shrinking: first delete spans (halving the
+/// span width down to single draws), then minimise individual values
+/// (zero, then repeated halving). Every accepted candidate must still
+/// fail the property.
+fn shrink(failing: Vec<u64>, property: &mut impl FnMut(&mut Gen)) -> Vec<u64> {
+    let mut best = failing;
+    let mut budget = SHRINK_BUDGET;
+
+    loop {
+        let mut improved = false;
+
+        // Phase 1: delete spans, widest first.
+        let mut width = best.len().max(1);
+        while width >= 1 {
+            let mut start = 0;
+            while start + width <= best.len() {
+                if budget == 0 {
+                    return best;
+                }
+                budget -= 1;
+                let mut candidate = best.clone();
+                candidate.drain(start..start + width);
+                if still_fails(&candidate, property) {
+                    best = candidate;
+                    improved = true;
+                    // Re-scan at the same position on the shorter list.
+                } else {
+                    start += width;
+                }
+            }
+            width /= 2;
+        }
+
+        // Phase 2: minimise individual values. Try zero outright, then
+        // binary-search the smallest replacement that still fails.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            if budget == 0 {
+                return best;
+            }
+            budget -= 1;
+            let mut zeroed = best.clone();
+            zeroed[i] = 0;
+            if still_fails(&zeroed, property) {
+                best = zeroed;
+                improved = true;
+                continue;
+            }
+            // Invariant: `lo` passes, `hi` fails.
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while hi - lo > 1 && budget > 0 {
+                budget -= 1;
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if still_fails(&candidate, property) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            if hi < best[i] {
+                best[i] = hi;
+                improved = true;
+            }
+        }
+
+        if !improved || budget == 0 {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut executed = 0u32;
+        Runner::cases(40).run("tautology", |g| {
+            executed += 1;
+            let v = g.u64(0..10);
+            assert!(v < 10);
+        });
+        assert_eq!(executed, 40);
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            Runner::cases(100).run("always false above 5", |g| {
+                let v = g.u64(0..100);
+                assert!(v <= 5, "got {v}");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("always false above 5"), "message: {msg}");
+        assert!(msg.contains("minimal choice sequence"), "message: {msg}");
+    }
+
+    #[test]
+    fn shrinking_finds_the_boundary_counterexample() {
+        // Property: all drawn values stay below 10. The range is wide
+        // enough that small raw choices map to themselves, so span
+        // deletion plus binary-search minimisation must converge on the
+        // exact boundary: a single draw of 10.
+        let failing: Vec<u64> = vec![77, 4242, 999_999_999];
+        let mut property = |g: &mut Gen| {
+            for _ in 0..3 {
+                let v = g.u64(0..1 << 32);
+                assert!(v < 10, "value {v} out of spec");
+            }
+        };
+        assert!(still_fails(&failing, &mut property));
+        let minimal = shrink(failing, &mut property);
+        assert_eq!(minimal, vec![10]);
+    }
+
+    #[test]
+    fn replay_exhaustion_yields_zeros() {
+        let mut g = Gen::from_choices(&[5]);
+        assert_eq!(g.u64(0..100), 5);
+        assert_eq!(g.u64(0..100), 0, "exhausted replay draws 0");
+        assert_eq!(g.u64(3..9), 3, "0 maps to the range start");
+    }
+
+    #[test]
+    fn check_replay_reports_failures() {
+        let property = |g: &mut Gen| {
+            let v = g.u64(0..100);
+            assert!(v < 50, "too big: {v}");
+        };
+        assert_eq!(Runner::check_replay(&[7], property), Ok(()));
+        let err = Runner::check_replay(&[60], property).expect_err("60 fails");
+        assert!(err.contains("too big"), "message: {err}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let collect = |seed: u64| {
+            let mut out = Vec::new();
+            let r = Runner::cases(3).seed(seed);
+            r.run("collect", |g| {
+                out.push(g.u64(0..1_000_000));
+            });
+            out
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+
+    #[test]
+    fn vec_and_choose_draw_through_the_sequence() {
+        let mut g = Gen::random(99);
+        let v = g.vec(1..40, |g| g.u8(0..4));
+        assert!(!v.is_empty() && v.len() < 40);
+        assert!(v.iter().all(|&b| b < 4));
+        let pick = *g.choose(&[10, 20, 30]);
+        assert!([10, 20, 30].contains(&pick));
+    }
+}

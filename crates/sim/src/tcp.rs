@@ -304,38 +304,44 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prop::Runner;
 
-    proptest! {
-        /// Goodput never exceeds the path bandwidth, for any outage
-        /// pattern, and outages never make the transfer free.
-        #[test]
-        fn goodput_bounded_by_line_rate(
-            outage_starts in proptest::collection::vec(1u64..30, 0..8),
-            downtime_ms in 50u64..500,
-        ) {
-            let mut starts = outage_starts;
+    /// Goodput never exceeds the path bandwidth, for any outage
+    /// pattern, and outages never make the transfer free.
+    #[test]
+    fn goodput_bounded_by_line_rate() {
+        Runner::cases(32).run("goodput bounded by line rate", |g| {
+            let mut starts = g.vec(0..8, |g| g.u64(1..30));
+            let downtime_ms = g.u64(50..500);
             starts.sort_unstable();
             starts.dedup();
             let outages: Vec<Outage> = starts
                 .iter()
-                .map(|s| Outage { start_ns: s * SEC, duration_ns: downtime_ms * 1_000_000 })
+                .map(|s| Outage {
+                    start_ns: s * SEC,
+                    duration_ns: downtime_ms * 1_000_000,
+                })
                 .collect();
             let bytes = 256u64 << 20;
             let r = simulate_transfer(TcpPath::gigabit_lan(), bytes, &outages);
             let clean = simulate_transfer(TcpPath::gigabit_lan(), bytes, &[]);
-            prop_assert!(r.goodput_bps <= TcpPath::gigabit_lan().bandwidth_bps as f64 * 1.001);
-            prop_assert!(r.elapsed_ns >= clean.elapsed_ns, "outages never speed things up");
-        }
+            assert!(r.goodput_bps <= TcpPath::gigabit_lan().bandwidth_bps as f64 * 1.001);
+            assert!(
+                r.elapsed_ns >= clean.elapsed_ns,
+                "outages never speed things up"
+            );
+        });
+    }
 
-        /// The transfer always completes: elapsed time is finite and the
-        /// reported goodput is consistent with it.
-        #[test]
-        fn accounting_consistency(bytes_mb in 1u64..128) {
-            let bytes = bytes_mb << 20;
+    /// The transfer always completes: elapsed time is finite and the
+    /// reported goodput is consistent with it.
+    #[test]
+    fn accounting_consistency() {
+        Runner::cases(32).run("accounting consistency", |g| {
+            let bytes = g.u64(1..128) << 20;
             let r = simulate_transfer(TcpPath::gigabit_lan(), bytes, &[]);
             let implied = bytes as f64 / (r.elapsed_ns as f64 / SEC as f64);
-            prop_assert!((implied - r.goodput_bps).abs() < 1.0);
-        }
+            assert!((implied - r.goodput_bps).abs() < 1.0);
+        });
     }
 }

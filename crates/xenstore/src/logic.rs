@@ -1099,19 +1099,18 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Runner;
 
     fn p(s: &str) -> XsPath {
         XsPath::parse(s).unwrap()
     }
 
-    proptest! {
-        /// Logic restart at any point between operations never loses
-        /// committed writes.
-        #[test]
-        fn restart_never_loses_committed_data(
-            ops in proptest::collection::vec((0u8..4, 0u32..8, 0u32..4), 1..40)
-        ) {
+    /// Logic restart at any point between operations never loses
+    /// committed writes.
+    #[test]
+    fn restart_never_loses_committed_data() {
+        Runner::cases(64).run("restart never loses committed data", |g| {
+            let ops = g.vec(1..40, |g| (g.u8(0..4), g.u32(0..8), g.u32(0..4)));
             let mut l = XenStoreLogic::new();
             let mut s = XenStoreState::new();
             let dom0 = DomId(0);
@@ -1137,16 +1136,17 @@ mod proptests {
             }
             l.restart(&mut s);
             for (key, value) in shadow {
-                prop_assert_eq!(l.read(&mut s, dom0, None, &p(&key)).unwrap(), value);
+                assert_eq!(l.read(&mut s, dom0, None, &p(&key)).unwrap(), value);
             }
-        }
+        });
+    }
 
-        /// Quota accounting matches the real number of owned nodes after
-        /// arbitrary writes and removals (no drift).
-        #[test]
-        fn quota_accounting_no_drift(
-            keys in proptest::collection::vec(0u32..10, 1..30)
-        ) {
+    /// Quota accounting matches the real number of owned nodes after
+    /// arbitrary writes and removals (no drift).
+    #[test]
+    fn quota_accounting_no_drift() {
+        Runner::cases(64).run("quota accounting has no drift", |g| {
+            let keys = g.vec(1..30, |g| g.u32(0..10));
             let mut l = XenStoreLogic::new();
             let mut s = XenStoreState::new();
             let dom0 = DomId(0);
@@ -1157,11 +1157,12 @@ mod proptests {
                     l.rm(&mut s, dom0, None, &p(&format!("/n{k}"))).unwrap();
                     present.remove(&k);
                 } else {
-                    l.write(&mut s, dom0, None, &p(&format!("/n{k}")), b"v").unwrap();
+                    l.write(&mut s, dom0, None, &p(&format!("/n{k}")), b"v")
+                        .unwrap();
                     present.insert(k);
                 }
             }
-            prop_assert_eq!(l.node_count(dom0), present.len());
-        }
+            assert_eq!(l.node_count(dom0), present.len());
+        });
     }
 }

@@ -7,12 +7,10 @@
 //! not listed. Privileged connections (Dom0 in stock Xen; the toolstack
 //! shards in Xoar) bypass the ACL.
 
-use serde::{Deserialize, Serialize};
-
 use xoar_hypervisor::DomId;
 
 /// Access level granted by one ACL entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PermLevel {
     /// No access.
     None,
@@ -23,6 +21,13 @@ pub enum PermLevel {
     /// Read and write.
     Both,
 }
+
+xoar_codec::impl_json_enum!(PermLevel {
+    None,
+    Read,
+    Write,
+    Both
+});
 
 impl PermLevel {
     /// Whether this level allows reading.
@@ -37,7 +42,7 @@ impl PermLevel {
 }
 
 /// One ACL entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PermEntry {
     /// Domain the entry applies to.
     pub dom: DomId,
@@ -45,8 +50,10 @@ pub struct PermEntry {
     pub level: PermLevel,
 }
 
+xoar_codec::impl_json_struct!(PermEntry { dom, level });
+
 /// The permissions of a node: owner plus ACL.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodePerms {
     /// Owning domain; always has full access and may change the ACL.
     pub owner: DomId,
@@ -55,6 +62,12 @@ pub struct NodePerms {
     /// Specific entries.
     pub entries: Vec<PermEntry>,
 }
+
+xoar_codec::impl_json_struct!(NodePerms {
+    owner,
+    default,
+    entries
+});
 
 impl NodePerms {
     /// Owner-only permissions (the default for new nodes).

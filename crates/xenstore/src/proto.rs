@@ -506,52 +506,98 @@ mod tests {
 #[cfg(test)]
 mod wire_fuzz {
     use super::*;
-    use proptest::prelude::*;
+    use xoar_sim::prop::Gen;
+    use xoar_sim::prop::Runner;
 
-    fn any_path() -> impl Strategy<Value = String> {
-        prop_oneof![
-            Just("/".to_string()),
-            Just("/local/domain/5/name".to_string()),
-            Just("/local/domain/5/device/vif/0".to_string()),
-            Just("/tool/secret".to_string()),
-            Just("relative/garbage".to_string()),
-            Just("/bad path/with spaces".to_string()),
-            Just("/@watch/injection".to_string()),
-            "[a-z/]{0,40}",
-        ]
+    fn any_path(g: &mut Gen) -> String {
+        let fixed = [
+            "/",
+            "/local/domain/5/name",
+            "/local/domain/5/device/vif/0",
+            "/tool/secret",
+            "relative/garbage",
+            "/bad path/with spaces",
+            "/@watch/injection",
+        ];
+        let pick = g.usize(0..fixed.len() + 1);
+        if pick < fixed.len() {
+            fixed[pick].to_string()
+        } else {
+            // Random lowercase-and-slash soup, like the old `[a-z/]{0,40}`.
+            g.vec(0..40, |g| {
+                let c = g.u8(0..27);
+                if c == 26 {
+                    '/'
+                } else {
+                    (b'a' + c) as char
+                }
+            })
+            .into_iter()
+            .collect()
+        }
     }
 
-    fn any_request() -> impl Strategy<Value = Request> {
-        let txn = proptest::option::of(0u32..5);
-        prop_oneof![
-            (txn.clone(), any_path()).prop_map(|(txn, path)| Request::Read { txn, path }),
-            (
-                txn.clone(),
-                any_path(),
-                proptest::collection::vec(any::<u8>(), 0..16)
-            )
-                .prop_map(|(txn, path, value)| Request::Write { txn, path, value }),
-            (txn.clone(), any_path()).prop_map(|(txn, path)| Request::Mkdir { txn, path }),
-            (txn.clone(), any_path()).prop_map(|(txn, path)| Request::Rm { txn, path }),
-            (txn, any_path()).prop_map(|(txn, path)| Request::Directory { txn, path }),
-            (any_path(), "[a-z]{0,8}").prop_map(|(path, token)| Request::Watch { path, token }),
-            (any_path(), "[a-z]{0,8}").prop_map(|(path, token)| Request::Unwatch { path, token }),
-            Just(Request::TxnStart),
-            (0u32..5, any::<bool>()).prop_map(|(txn, commit)| Request::TxnEnd { txn, commit }),
-        ]
+    fn token(g: &mut Gen) -> String {
+        g.vec(0..8, |g| (b'a' + g.u8(0..26)) as char)
+            .into_iter()
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn txn(g: &mut Gen) -> Option<u32> {
+        if g.bool() {
+            Some(g.u32(0..5))
+        } else {
+            None
+        }
+    }
 
-        /// An arbitrarily hostile wire stream from an unprivileged guest
-        /// never panics the store, never touches privileged paths, and
-        /// always yields a well-formed response.
-        #[test]
-        fn hostile_wire_stream_is_harmless(
-            reqs in proptest::collection::vec(any_request(), 1..60),
-            restart_every in 1usize..10,
-        ) {
+    fn any_request(g: &mut Gen) -> Request {
+        match g.u8(0..9) {
+            0 => Request::Read {
+                txn: txn(g),
+                path: any_path(g),
+            },
+            1 => Request::Write {
+                txn: txn(g),
+                path: any_path(g),
+                value: g.vec(0..16, |g| g.u64(0..256) as u8),
+            },
+            2 => Request::Mkdir {
+                txn: txn(g),
+                path: any_path(g),
+            },
+            3 => Request::Rm {
+                txn: txn(g),
+                path: any_path(g),
+            },
+            4 => Request::Directory {
+                txn: txn(g),
+                path: any_path(g),
+            },
+            5 => Request::Watch {
+                path: any_path(g),
+                token: token(g),
+            },
+            6 => Request::Unwatch {
+                path: any_path(g),
+                token: token(g),
+            },
+            7 => Request::TxnStart,
+            _ => Request::TxnEnd {
+                txn: g.u32(0..5),
+                commit: g.bool(),
+            },
+        }
+    }
+
+    /// An arbitrarily hostile wire stream from an unprivileged guest
+    /// never panics the store, never touches privileged paths, and
+    /// always yields a well-formed response.
+    #[test]
+    fn hostile_wire_stream_is_harmless() {
+        Runner::cases(64).run("hostile wire stream is harmless", |g| {
+            let reqs = g.vec(1..60, any_request);
+            let restart_every = g.usize(1..10);
             let mut xs = XenStore::new();
             let dom0 = DomId(0);
             let guest = DomId(5);
@@ -565,8 +611,8 @@ mod wire_fuzz {
                 }
             }
             // The privileged subtree is intact and unreadable to the guest.
-            prop_assert_eq!(xs.read_str(dom0, "/tool/secret").unwrap(), "crown jewels");
-            prop_assert!(xs.read_str(guest, "/tool/secret").is_err());
-        }
+            assert_eq!(xs.read_str(dom0, "/tool/secret").unwrap(), "crown jewels");
+            assert!(xs.read_str(guest, "/tool/secret").is_err());
+        });
     }
 }

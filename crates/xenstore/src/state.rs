@@ -14,14 +14,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::perm::NodePerms;
 
 /// A stored node record: value bytes, permissions, and a generation
 /// counter bumped on every mutation (used for transaction conflict
 /// detection).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeRecord {
     /// Node contents.
     pub value: Vec<u8>,
@@ -30,6 +28,12 @@ pub struct NodeRecord {
     /// Mutation generation.
     pub generation: u64,
 }
+
+xoar_codec::impl_json_struct!(NodeRecord {
+    value,
+    perms,
+    generation
+});
 
 /// A request on the narrow Logic→State protocol.
 #[derive(Debug, Clone)]
@@ -63,15 +67,17 @@ pub enum KvReply {
 ///
 /// The paper's State shard is "long-lived and contains all the XenStore
 /// data"; it survives every Logic restart.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct XenStoreState {
     map: BTreeMap<String, NodeRecord>,
     generation: u64,
     /// Protocol-operation counter (evaluation: narrowness of the interface
-    /// is an argument, volume is a metric).
-    #[serde(default)]
+    /// is an argument, volume is a metric). Tolerated as missing on
+    /// recovery so pre-counter persisted blobs still load.
     ops_served: u64,
 }
+
+xoar_codec::impl_json_struct!(XenStoreState { map, generation, [default] ops_served });
 
 impl XenStoreState {
     /// Creates an empty State.
@@ -147,14 +153,14 @@ impl XenStoreState {
     /// could potentially be restarted by persisting its state to disk,
     /// and checking and recovering that state on restart."
     pub fn persist(&self) -> String {
-        serde_json::to_string(self).expect("state serializes")
+        xoar_codec::to_string(self)
     }
 
     /// Recovers a State from its persisted form, validating the record
     /// generations against the global counter (the §7.1 "checking" step).
     pub fn recover(persisted: &str) -> Result<Self, String> {
         let state: XenStoreState =
-            serde_json::from_str(persisted).map_err(|e| format!("corrupt state: {e}"))?;
+            xoar_codec::from_str(persisted).map_err(|e| format!("corrupt state: {e}"))?;
         for (key, rec) in &state.map {
             if rec.generation > state.generation {
                 return Err(format!(

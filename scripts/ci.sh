@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build + full test suite.
+#
+# The workspace is self-contained (no external crates), so everything
+# must pass with an empty/cold cargo registry. Run from the repo root:
+#
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+
+# Style gate, only where a rustfmt toolchain is present.
+if command -v rustfmt >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
+
+echo "ci.sh: all checks passed"

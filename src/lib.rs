@@ -4,6 +4,8 @@
 //! is Hard to Do: Security and Functionality in a Commodity
 //! Hypervisor"*): one `use` pulls in the whole public API.
 //!
+//! * [`codec`] — the zero-dependency JSON codec behind the audit log's
+//!   wire format and XenStore-State persistence;
 //! * [`hypervisor`] — the Xen-like machine monitor substrate;
 //! * [`xenstore`] — the split (Logic/State) XenStore registry;
 //! * [`devices`] — I/O rings, split drivers, PCI, device emulation;
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub use xoar_codec as codec;
 pub use xoar_core as platform;
 pub use xoar_devices as devices;
 pub use xoar_hypervisor as hypervisor;

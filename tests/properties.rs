@@ -1,12 +1,11 @@
 //! Cross-crate property-based tests: platform invariants under random
 //! operation sequences.
 
-use proptest::prelude::*;
-
 use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
 use xoar_core::shard::ConstraintTag;
 use xoar_devices::blk::BlkOp;
 use xoar_hypervisor::{DomId, DomainState};
+use xoar_sim::prop::{Gen, Runner};
 
 /// The operations the fuzzer may apply to a platform.
 #[derive(Debug, Clone)]
@@ -19,28 +18,27 @@ enum Op {
     AdvanceTime(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        proptest::option::of(0u8..3).prop_map(|tag| Op::Create { tag }),
-        (0u8..8).prop_map(Op::DestroyNth),
-        (0u8..8).prop_map(Op::BlkIoNth),
-        (0u8..8).prop_map(Op::NetIoNth),
-        Just(Op::XsRestart),
-        (1u32..1_000_000).prop_map(Op::AdvanceTime),
-    ]
+fn any_op(g: &mut Gen) -> Op {
+    match g.u8(0..6) {
+        0 => Op::Create {
+            tag: if g.bool() { Some(g.u8(0..3)) } else { None },
+        },
+        1 => Op::DestroyNth(g.u8(0..8)),
+        2 => Op::BlkIoNth(g.u8(0..8)),
+        3 => Op::NetIoNth(g.u8(0..8)),
+        4 => Op::XsRestart,
+        _ => Op::AdvanceTime(g.u32(1..1_000_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// No sequence of lifecycle/I/O operations can violate the core
-    /// invariants: live guests always have live service shards, shard
-    /// constraint tags never mix, the audit graph matches reality, and
-    /// nothing panics.
-    #[test]
-    fn platform_invariants_hold_under_random_ops(
-        ops in proptest::collection::vec(op_strategy(), 1..60)
-    ) {
+/// No sequence of lifecycle/I/O operations can violate the core
+/// invariants: live guests always have live service shards, shard
+/// constraint tags never mix, the audit graph matches reality, and
+/// nothing panics.
+#[test]
+fn platform_invariants_hold_under_random_ops() {
+    Runner::cases(24).run("platform invariants hold under random ops", |g| {
+        let ops = g.vec(1..60, any_op);
         let mut p = Platform::xoar(XoarConfig::default());
         let ts = p.services.toolstacks[0];
         let mut n = 0u32;
@@ -86,10 +84,12 @@ proptest! {
             for g in p.guests() {
                 for shard in [g.netback, g.blkback] {
                     if let Some(s) = shard {
-                        prop_assert_eq!(
+                        assert_eq!(
                             p.hv.domain(s).unwrap().state,
                             DomainState::Running,
-                            "guest {} has dead shard {}", g.dom, s
+                            "guest {} has dead shard {}",
+                            g.dom,
+                            s
                         );
                     }
                 }
@@ -98,9 +98,11 @@ proptest! {
             for g1 in p.guests() {
                 for g2 in p.guests() {
                     if g1.netback == g2.netback {
-                        prop_assert!(
+                        assert!(
                             g1.constraint.compatible(&g2.constraint),
-                            "{} and {} share a netback with different tags", g1.dom, g2.dom
+                            "{} and {} share a netback with different tags",
+                            g1.dom,
+                            g2.dom
                         );
                     }
                 }
@@ -110,19 +112,22 @@ proptest! {
             let deps = p.audit.dependency_graph_at(u64::MAX);
             for g in p.guests() {
                 if let Some(nb) = g.netback {
-                    prop_assert!(deps.contains(&(g.dom, nb)));
+                    assert!(deps.contains(&(g.dom, nb)));
                 }
             }
             // Invariant 4: memory accounting never goes negative / wild.
-            prop_assert!(p.hv.mem.free_frames() <= p.hv.mem.total_frames());
+            assert!(p.hv.mem.free_frames() <= p.hv.mem.total_frames());
         }
-    }
+    });
+}
 
-    /// Guest creation is all-or-nothing: a failed creation leaves no
-    /// residue (no half-attached devices, no audit records, no leaked
-    /// image mounts).
-    #[test]
-    fn failed_creation_leaves_no_residue(tag in 0u8..3) {
+/// Guest creation is all-or-nothing: a failed creation leaves no
+/// residue (no half-attached devices, no audit records, no leaked
+/// image mounts).
+#[test]
+fn failed_creation_leaves_no_residue() {
+    Runner::cases(24).run("failed creation leaves no residue", |g| {
+        let tag = g.u8(0..3);
         let mut p = Platform::xoar(XoarConfig::default());
         let ts = p.services.toolstacks[0];
         // Occupy the only netback with a tagged guest.
@@ -134,22 +139,19 @@ proptest! {
         // This must fail on the constraint check (different tag).
         let mut cfg = GuestConfig::evaluation_guest("loser");
         cfg.constraint = ConstraintTag::group(&format!("other-{tag}"));
-        prop_assert!(p.create_guest(ts, cfg).is_err());
-        prop_assert_eq!(p.audit.len(), audit_before);
-        prop_assert_eq!(p.guests().len(), guests_before);
-    }
+        assert!(p.create_guest(ts, cfg).is_err());
+        assert_eq!(p.audit.len(), audit_before);
+        assert_eq!(p.guests().len(), guests_before);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Toolstack quota accounting never drifts from the live platform
-    /// state under arbitrary create/destroy/resize sequences.
-    #[test]
-    fn toolstack_quota_never_drifts(
-        ops in proptest::collection::vec((0u8..3, 1u64..4), 1..30)
-    ) {
+/// Toolstack quota accounting never drifts from the live platform
+/// state under arbitrary create/destroy/resize sequences.
+#[test]
+fn toolstack_quota_never_drifts() {
+    Runner::cases(16).run("toolstack quota never drifts", |g| {
         use xoar_core::toolstack::{ResourceQuota, Toolstack};
+        let ops = g.vec(1..30, |g| (g.u8(0..3), g.u64(1..4)));
         let mut p = Platform::xoar(XoarConfig::default());
         let mut ts = Toolstack::new(&p, 0).with_quota(ResourceQuota {
             max_vms: 6,
@@ -180,9 +182,9 @@ proptest! {
             }
             // Invariant: accounted memory equals the sum over live VMs.
             let live: u64 = ts.list(&p).iter().map(|v| v.memory_mib).sum();
-            prop_assert_eq!(ts.used_memory_mib(), live);
+            assert_eq!(ts.used_memory_mib(), live);
             // And the quota is never exceeded.
-            prop_assert!(live <= 6 * 1024);
+            assert!(live <= 6 * 1024);
         }
-    }
+    });
 }
