@@ -18,7 +18,8 @@ use xoar_bench::harness::Harness;
 use xoar_core::boot::BootPlan;
 use xoar_core::platform::{GuestConfig, Platform, PlatformMode, XoarConfig};
 use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
-use xoar_hypervisor::{DomId, Hypercall};
+use xoar_hypervisor::privilege::{IoPortRange, MmioRange};
+use xoar_hypervisor::{DomId, Hypercall, HypercallId, PrivilegeSet};
 use xoar_xenstore::XenStore;
 
 fn bench_privilege_checks(h: &mut Harness) {
@@ -39,6 +40,38 @@ fn bench_privilege_checks(h: &mut Harness) {
         xoar.hv
             .hypercall(black_box(ts), Hypercall::SysctlPhysinfo)
             .unwrap();
+    });
+    // Direct probes of the privilege data structures: a bitset test for
+    // the hypercall whitelist, binary search over sorted ranges for I/O
+    // ports and MMIO — the structures `permits_*` dispatches through.
+    let mut ps = PrivilegeSet::default();
+    ps.hypercalls = [
+        HypercallId::DomctlCreateDomain,
+        HypercallId::DomctlDestroyDomain,
+        HypercallId::SysctlPhysinfo,
+    ]
+    .into_iter()
+    .collect();
+    ps.io_ports = (0..32u16)
+        .map(|i| IoPortRange::new(i * 0x100, i * 0x100 + 0x1f))
+        .collect();
+    ps.mmio = (0..32u64)
+        .map(|i| MmioRange {
+            start_mfn: 0x1000 + i * 0x100,
+            frames: 0x40,
+        })
+        .collect();
+    group.bench_function("permits_hypercall_bitset", || {
+        assert!(ps.permits_hypercall(black_box(HypercallId::SysctlPhysinfo)));
+        assert!(!ps.permits_hypercall(black_box(HypercallId::PlatformReboot)));
+    });
+    group.bench_function("permits_io_port_ranges", || {
+        assert!(ps.permits_io_port(black_box(0x0710)));
+        assert!(!ps.permits_io_port(black_box(0x07f0)));
+    });
+    group.bench_function("permits_mmio_ranges", || {
+        assert!(ps.permits_mmio(black_box(0x1f20)));
+        assert!(!ps.permits_mmio(black_box(0x1fff)));
     });
     group.finish();
 }

@@ -11,8 +11,9 @@ use std::hint::black_box;
 use xoar_bench::harness::Harness;
 use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
 use xoar_devices::blk::BlkOp;
+use xoar_devices::ring::Ring;
 use xoar_hypervisor::grant::GrantAccess;
-use xoar_hypervisor::memory::Pfn;
+use xoar_hypervisor::memory::{MemoryManager, PageRef, Pfn};
 use xoar_hypervisor::{DomId, Hypercall};
 use xoar_xenstore::XenStore;
 
@@ -94,6 +95,65 @@ fn bench_ring_round_trip(h: &mut Harness) {
     });
 }
 
+fn bench_memory_pages(h: &mut Harness) {
+    let (mut p, g) = platform_with_guest();
+    p.hv.mem.write(g, Pfn(40), &[0xa5u8; 4096]).unwrap();
+    h.bench_function("mem/page_write", || {
+        p.hv.mem
+            .write(g, Pfn(41), black_box(&[0x5au8; 512]))
+            .unwrap();
+    });
+    // `read` hands back a shared PageRef, not a byte copy.
+    h.bench_function("mem/page_read_handle", || {
+        black_box(p.hv.mem.read(g, Pfn(40)).unwrap());
+    });
+    let mut ring: Ring<PageRef, PageRef> = Ring::new(8);
+    let page = PageRef::new(&[7u8; 4096]);
+    h.bench_function("ring/page_round_trip", || {
+        ring.push_request(page.clone()).unwrap();
+        let req = ring.pop_request().unwrap();
+        ring.push_response(req).unwrap();
+        black_box(ring.pop_response().unwrap());
+    });
+    // Guest page to the wire and back by handle (zero-copy TX path).
+    h.bench_function("net/transmit_page_process", || {
+        p.net_transmit_page(g, 1, 40).unwrap();
+        p.process_netbacks();
+        p.net_receive(g).unwrap();
+    });
+}
+
+/// Four domains, `frames / 4` pages each; page `i` of every domain holds
+/// the same content, so every page body appears four times.
+fn dedup_fleet(frames: u64) -> MemoryManager {
+    let mut m = MemoryManager::new(frames + 16);
+    let per_dom = frames / 4;
+    for d in 1..=4u32 {
+        let dom = DomId(d);
+        m.populate(dom, per_dom).unwrap();
+        for i in 0..per_dom {
+            m.write(dom, Pfn(i), format!("dedup-page-{i}").as_bytes())
+                .unwrap();
+        }
+    }
+    m
+}
+
+fn bench_dedup_scale(h: &mut Harness) {
+    let mut group = h.group("mem/dedup_scale");
+    group.sample_size(10);
+    for (label, frames) in [("1k", 1_000u64), ("10k", 10_000), ("50k", 50_000)] {
+        let base = dedup_fleet(frames);
+        // Each iteration dedups a fresh clone of the prepared fleet
+        // (cloning is Rc-cheap next to the scan being measured).
+        group.bench_function(label, || {
+            let mut m = base.clone();
+            black_box(m.share_identical());
+        });
+    }
+    group.finish();
+}
+
 fn bench_xenstore(h: &mut Harness) {
     let mut xs = XenStore::new();
     let dom0 = DomId(0);
@@ -128,6 +188,8 @@ fn main() {
     bench_events(&mut h);
     bench_grants(&mut h);
     bench_ring_round_trip(&mut h);
+    bench_memory_pages(&mut h);
+    bench_dedup_scale(&mut h);
     bench_xenstore(&mut h);
     bench_snapshot(&mut h);
     h.emit_json();

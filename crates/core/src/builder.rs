@@ -324,7 +324,9 @@ mod tests {
         assert_eq!(b.build_count(), 1);
         // Start-info page written.
         let si = hv.mem.read(built.guest, built.start_info_pfn).unwrap();
-        assert!(String::from_utf8(si).unwrap().contains("store_pfn=1"));
+        assert!(String::from_utf8(si.to_vec())
+            .unwrap()
+            .contains("store_pfn=1"));
         // Name registered in XenStore.
         assert_eq!(
             xs.read_str(b.dom, &format!("/local/domain/{}/name", built.guest.0))

@@ -76,7 +76,7 @@ impl HaSession {
                     Hypercall::MmuWriteForeign {
                         target: shadow,
                         pfn,
-                        data,
+                        data: data.to_vec(),
                     },
                 )?;
                 session.pages_replicated += 1;
@@ -106,7 +106,7 @@ impl HaSession {
                 Hypercall::MmuWriteForeign {
                     target: self.shadow,
                     pfn,
-                    data,
+                    data: data.to_vec(),
                 },
             )?;
             shipped += 1;

@@ -131,7 +131,7 @@ pub fn migrate(
                 Hypercall::MmuWriteForeign {
                     target: new_dom,
                     pfn: *pfn,
-                    data,
+                    data: data.to_vec(),
                 },
             )?;
         }
@@ -160,7 +160,7 @@ pub fn migrate(
                     Hypercall::MmuWriteForeign {
                         target: new_dom,
                         pfn: *pfn,
-                        data,
+                        data: data.to_vec(),
                     },
                 )?;
             }
@@ -196,7 +196,7 @@ pub fn migrate(
                 Hypercall::MmuWriteForeign {
                     target: new_dom,
                     pfn: *pfn,
-                    data,
+                    data: data.to_vec(),
                 },
             )?;
         }

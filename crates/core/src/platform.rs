@@ -887,10 +887,59 @@ impl Platform {
         nf.transmit(&mut self.net_hub, flow, bytes)
     }
 
+    /// Transmits the page at `guest`'s `pfn` on `flow` as a shared handle:
+    /// the body is read out of machine memory once and then moves through
+    /// the ring, the backend, and onto the wire by refcount — zero copies.
+    pub fn net_transmit_page(
+        &mut self,
+        guest: DomId,
+        flow: u64,
+        pfn: u64,
+    ) -> Result<u64, xoar_devices::ring::RingError> {
+        let page = self
+            .hv
+            .mem
+            .read(guest, xoar_hypervisor::memory::Pfn(pfn))
+            .map_err(|_| xoar_devices::ring::RingError::NotFound)?;
+        let h = self
+            .guests
+            .get_mut(&guest)
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let nf = h
+            .netfront
+            .as_mut()
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        nf.transmit_page(&mut self.net_hub, flow, page)
+    }
+
     /// Receives the next frame delivered to `guest`'s vif.
     pub fn net_receive(&mut self, guest: DomId) -> Option<xoar_devices::net::NetPacket> {
         let h = self.guests.get_mut(&guest)?;
         h.netfront.as_mut()?.receive(&mut self.net_hub)
+    }
+
+    /// Writes the page at `guest`'s `pfn` to its vbd at `sector`, passing
+    /// the body as a shared handle end to end.
+    pub fn blk_write_page(
+        &mut self,
+        guest: DomId,
+        sector: u64,
+        pfn: u64,
+    ) -> Result<u64, xoar_devices::ring::RingError> {
+        let page = self
+            .hv
+            .mem
+            .read(guest, xoar_hypervisor::memory::Pfn(pfn))
+            .map_err(|_| xoar_devices::ring::RingError::NotFound)?;
+        let h = self
+            .guests
+            .get_mut(&guest)
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let bf = h
+            .blkfront
+            .as_mut()
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        bf.submit_write_page(&mut self.blk_hub, sector, page)
     }
 
     /// Submits a block request from `guest`'s vbd.
@@ -1095,6 +1144,7 @@ impl Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xoar_hypervisor::memory::PageRef;
 
     fn xoar() -> Platform {
         Platform::xoar(XoarConfig::default())
@@ -1328,6 +1378,33 @@ mod tests {
         p.blk_submit(a, xoar_devices::blk::BlkOp::Write, 0, 8)
             .unwrap();
         assert_eq!(p.process_blkbacks().completed, 1);
+    }
+
+    #[test]
+    fn guest_page_reaches_wire_and_disk_by_shared_handle() {
+        let mut p = xoar();
+        let ts = p.services.toolstacks[0];
+        let g = p
+            .create_guest(ts, GuestConfig::evaluation_guest("zc"))
+            .unwrap();
+        p.hv.mem.write(g, Pfn(40), b"payload-body").unwrap();
+        let page = p.hv.mem.read(g, Pfn(40)).unwrap();
+
+        // Network: the frame on the wire holds the guest's page body.
+        p.net_transmit_page(g, 7, 40).unwrap();
+        assert_eq!(p.process_netbacks().tx_frames, 1);
+        let out = p.wire.take_outbound();
+        assert!(PageRef::ptr_eq(&page, out[0].payload.as_ref().unwrap()));
+
+        // Block: the stored image page is that same allocation.
+        p.blk_write_page(g, 8, 40).unwrap();
+        assert_eq!(p.process_blkbacks().completed, 1);
+        while p.blk_poll(g).is_some() {}
+        p.blk_submit(g, xoar_devices::blk::BlkOp::Read, 8, 8)
+            .unwrap();
+        p.process_blkbacks();
+        let resp = p.blk_poll(g).unwrap();
+        assert!(PageRef::ptr_eq(&page, resp.payload.as_ref().unwrap()));
     }
 
     #[test]

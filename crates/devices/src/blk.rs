@@ -18,6 +18,7 @@ use crate::hw::DiskModel;
 use crate::ring::{RingError, RingHub};
 use crate::xenbus::Connection;
 
+use xoar_hypervisor::memory::PageRef;
 use xoar_hypervisor::DomId;
 
 /// Bytes per virtual sector.
@@ -38,8 +39,9 @@ pub enum BlkOp {
     Flush,
 }
 
-/// A frontend block request.
-#[derive(Debug, Clone, Copy)]
+/// A frontend block request. Writes may carry the page body as a shared
+/// [`PageRef`] handle; the backend stores the handle — never a byte copy.
+#[derive(Debug, Clone)]
 pub struct BlkRequest {
     /// Frontend-chosen correlation ID.
     pub id: u64,
@@ -49,6 +51,8 @@ pub struct BlkRequest {
     pub sector: u64,
     /// Number of sectors.
     pub count: u64,
+    /// Shared handle on the written page body (writes only).
+    pub payload: Option<PageRef>,
 }
 
 impl BlkRequest {
@@ -67,20 +71,23 @@ pub enum BlkStatus {
     Error,
 }
 
-/// A backend block response.
-#[derive(Debug, Clone, Copy)]
+/// A backend block response. Reads of sectors previously written with a
+/// page payload return the stored body as a shared handle.
+#[derive(Debug, Clone)]
 pub struct BlkResponse {
     /// Correlates with [`BlkRequest::id`].
     pub id: u64,
     /// Outcome.
     pub status: BlkStatus,
+    /// Shared handle on the read page body (reads of stored pages only).
+    pub payload: Option<PageRef>,
 }
 
 /// The ring hub type for the block protocol.
 pub type BlkRingHub = RingHub<BlkRequest, BlkResponse>;
 
 /// A disk image managed by BlkBack's proxy daemon.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DiskImage {
     /// Image name (e.g. `guest-a-root.img`).
     pub name: String,
@@ -88,6 +95,9 @@ pub struct DiskImage {
     pub sectors: u64,
     /// Whether a guest currently has it mounted.
     pub mounted_by: Option<DomId>,
+    /// Page bodies written with a payload, keyed by starting sector.
+    /// Values are shared handles — storing a page is a refcount move.
+    pages: HashMap<u64, PageRef>,
 }
 
 /// The image store: BlkBack's proxy daemon for toolstack requests (§5.4).
@@ -117,6 +127,7 @@ impl ImageStore {
                 name: name.to_string(),
                 sectors: bytes.div_ceil(SECTOR_SIZE),
                 mounted_by: None,
+                pages: HashMap::new(),
             },
         );
         Ok(())
@@ -152,6 +163,21 @@ impl ImageStore {
         if let Some(img) = self.images.get_mut(name) {
             img.mounted_by = None;
         }
+    }
+
+    /// Stores a written page body at `sector` of image `name`. The handle
+    /// is moved in; no bytes are copied.
+    pub fn store_page(&mut self, name: &str, sector: u64, page: PageRef) {
+        if let Some(img) = self.images.get_mut(name) {
+            img.pages.insert(sector, page);
+        }
+    }
+
+    /// Returns the shared handle stored at `sector` of image `name`.
+    pub fn read_page(&self, name: &str, sector: u64) -> Option<PageRef> {
+        self.images
+            .get(name)
+            .and_then(|i| i.pages.get(&sector).cloned())
     }
 
     /// Lists image names.
@@ -256,22 +282,30 @@ impl BlkBack {
                     BlkOp::Flush => req.count == 0,
                     _ => req.count > 0 && req.bytes() <= MAX_SEGMENTS_BYTES && end <= a.sectors,
                 };
+                let mut resp_payload = None;
                 let status = if valid {
                     let sequential = a.last_sector == Some(req.sector);
                     let bytes = req.bytes() as usize;
                     let t = match req.op {
                         BlkOp::Read => {
                             self.disk.record_read(bytes);
+                            resp_payload = self.images.read_page(&a.image, req.sector);
                             self.disk.service_time_ns(bytes, sequential)
                         }
                         BlkOp::Write => {
                             self.disk.record_write(bytes);
+                            if let Some(page) = req.payload {
+                                // Store the shared handle — the write's
+                                // page body crosses the backend by
+                                // refcount move, not by copy.
+                                self.images.store_page(&a.image, req.sector, page);
+                            }
                             self.disk.service_time_ns(bytes, sequential)
                         }
                         BlkOp::Flush => self.disk.service_time_ns(0, false),
                     };
                     a.last_sector = Some(end);
-                    stats.bytes += req.bytes();
+                    stats.bytes += bytes as u64;
                     stats.service_ns += t;
                     stats.completed += 1;
                     BlkStatus::Ok
@@ -280,7 +314,11 @@ impl BlkBack {
                     BlkStatus::Error
                 };
                 if ring
-                    .push_response(BlkResponse { id: req.id, status })
+                    .push_response(BlkResponse {
+                        id: req.id,
+                        status,
+                        payload: resp_payload,
+                    })
                     .is_err()
                 {
                     break;
@@ -329,14 +367,39 @@ impl BlkFront {
         sector: u64,
         count: u64,
     ) -> Result<u64, RingError> {
+        self.submit_with(hub, op, sector, count, None)
+    }
+
+    /// Submits a write whose page body travels as a shared handle; `count`
+    /// is derived from the page size. The backend stores the handle so a
+    /// later read returns the same body without any byte copy.
+    pub fn submit_write_page(
+        &mut self,
+        hub: &mut BlkRingHub,
+        sector: u64,
+        page: PageRef,
+    ) -> Result<u64, RingError> {
+        let count = (page.len() as u64).div_ceil(SECTOR_SIZE);
+        self.submit_with(hub, BlkOp::Write, sector, count, Some(page))
+    }
+
+    fn submit_with(
+        &mut self,
+        hub: &mut BlkRingHub,
+        op: BlkOp,
+        sector: u64,
+        count: u64,
+        payload: Option<PageRef>,
+    ) -> Result<u64, RingError> {
         let id = self.next_id;
         let req = BlkRequest {
             id,
             op,
             sector,
             count,
+            payload,
         };
-        hub.get_mut(self.conn.ring)?.push_request(req)?;
+        hub.get_mut(self.conn.ring)?.push_request(req.clone())?;
         self.next_id += 1;
         self.outstanding.insert(id, req);
         Ok(id)
@@ -359,7 +422,7 @@ impl BlkFront {
     /// … are designed to cache and retransmit failed requests" (§3.3).
     pub fn reconnect(&mut self, conn: Connection) -> Vec<BlkRequest> {
         self.conn = conn;
-        let mut retry: Vec<BlkRequest> = self.outstanding.values().copied().collect();
+        let mut retry: Vec<BlkRequest> = self.outstanding.values().cloned().collect();
         retry.sort_by_key(|r| r.id);
         self.outstanding.clear();
         retry
@@ -416,6 +479,30 @@ mod tests {
         assert_eq!(r1.status, BlkStatus::Ok);
         assert_eq!(r2.id, id_w);
         assert_eq!(bf.outstanding(), 0);
+    }
+
+    #[test]
+    fn write_page_read_back_by_handle() {
+        let (mut bb, mut bf, mut hub) = backend_with_guest();
+        let page = PageRef::new(&[0xabu8; 4096]);
+        bf.submit_write_page(&mut hub, 64, page.clone()).unwrap();
+        let stats = bb.process(&mut hub);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.bytes, 4096);
+        assert!(bf.poll(&mut hub).unwrap().payload.is_none());
+        // The stored body is the same allocation; a read hands it back.
+        bf.submit(&mut hub, BlkOp::Read, 64, 8).unwrap();
+        bb.process(&mut hub);
+        let resp = bf.poll(&mut hub).unwrap();
+        assert_eq!(resp.status, BlkStatus::Ok);
+        assert!(
+            PageRef::ptr_eq(&page, resp.payload.as_ref().unwrap()),
+            "read returns the written page body by shared handle"
+        );
+        // Reads of never-written sectors carry no payload.
+        bf.submit(&mut hub, BlkOp::Read, 0, 8).unwrap();
+        bb.process(&mut hub);
+        assert!(bf.poll(&mut hub).unwrap().payload.is_none());
     }
 
     #[test]

@@ -16,14 +16,18 @@ use crate::hw::NicModel;
 use crate::ring::{RingError, RingHub};
 use crate::xenbus::Connection;
 
+use xoar_hypervisor::memory::PageRef;
 use xoar_hypervisor::DomId;
 
 /// Largest GSO aggregate carried by one ring slot (64 KiB, as in Linux).
 pub const MAX_GSO_BYTES: usize = 65_536;
 
-/// A network frame (payload elided; only sizes and flow identity matter
-/// for the evaluation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A network frame. `bytes` always carries the aggregate size (the only
+/// thing the timing model needs); `payload` optionally carries the actual
+/// page body as a shared [`PageRef`] handle, so a frame sourced from guest
+/// memory crosses the backend and reaches the wire by refcount move —
+/// never by copying the page.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetPacket {
     /// Flow this packet belongs to (a TCP connection in the workloads).
     pub flow: u64,
@@ -31,6 +35,31 @@ pub struct NetPacket {
     pub seq: u64,
     /// Payload bytes.
     pub bytes: usize,
+    /// Shared handle on the page body, when the frame carries real data.
+    pub payload: Option<PageRef>,
+}
+
+impl NetPacket {
+    /// A size-only frame (no page body) — the common case for the timing
+    /// workloads, where only sizes and flow identity matter.
+    pub fn meta(flow: u64, seq: u64, bytes: usize) -> Self {
+        NetPacket {
+            flow,
+            seq,
+            bytes,
+            payload: None,
+        }
+    }
+
+    /// A frame carrying `page` by shared handle; `bytes` is the page size.
+    pub fn with_payload(flow: u64, seq: u64, page: PageRef) -> Self {
+        NetPacket {
+            flow,
+            seq,
+            bytes: page.len(),
+            payload: Some(page),
+        }
+    }
 }
 
 /// The ring hub type for the network protocol (tx and rx share the ring
@@ -73,6 +102,13 @@ impl WireEndpoint {
     /// Remote peer sends `pkt` toward `guest`.
     pub fn send_to_guest(&mut self, guest: DomId, pkt: NetPacket) {
         self.inbound.push_back((guest, pkt));
+    }
+
+    /// Remote peer sends a page-carrying frame toward `guest`; the page
+    /// body travels as a shared handle all the way into the guest ring.
+    pub fn send_page_to_guest(&mut self, guest: DomId, flow: u64, seq: u64, page: PageRef) {
+        self.inbound
+            .push_back((guest, NetPacket::with_payload(flow, seq, page)));
     }
 
     /// Drains everything the host transmitted.
@@ -134,24 +170,18 @@ impl NetBack {
                 if pkt.bytes > MAX_GSO_BYTES {
                     // Backend validation: malformed aggregate.
                     stats.dropped += 1;
-                    let _ = ring.push_response(NetPacket {
-                        flow: pkt.flow,
-                        seq: pkt.seq,
-                        bytes: 0,
-                    });
+                    let _ = ring.push_response(NetPacket::meta(pkt.flow, pkt.seq, 0));
                     continue;
                 }
                 stats.service_ns += self.nic.tx_time_ns(pkt.bytes);
                 self.nic.record_tx(pkt.bytes);
                 stats.tx_frames += 1;
                 stats.tx_bytes += pkt.bytes as u64;
+                // Ack the slot so the frontend can reuse it (completions
+                // never carry the body — the wire takes the handle).
+                let ack = NetPacket::meta(pkt.flow, pkt.seq, pkt.bytes);
                 wire.outbound.push_back(pkt);
-                // Ack the slot so the frontend can reuse it.
-                let _ = ring.push_response(NetPacket {
-                    flow: pkt.flow,
-                    seq: pkt.seq,
-                    bytes: pkt.bytes,
-                });
+                let _ = ring.push_response(ack);
             }
         }
         // RX: wire → guest.
@@ -181,9 +211,9 @@ impl NetBack {
             // too; the model delivers since responses are unbounded, but we
             // cap rx bursts per pass to the ring size via requeue.
             if ring.pending_responses() >= 4 * crate::ring::DEFAULT_RING_SLOTS {
-                undeliverable.push_back((guest, pkt));
                 stats.rx_frames -= 1;
                 stats.rx_bytes -= pkt.bytes as u64;
+                undeliverable.push_back((guest, pkt));
                 continue;
             }
             let _ = ring.push_response(pkt);
@@ -227,7 +257,23 @@ impl NetFront {
     ) -> Result<u64, RingError> {
         let seq = self.next_seq;
         hub.get_mut(self.conn.ring)?
-            .push_request(NetPacket { flow, seq, bytes })?;
+            .push_request(NetPacket::meta(flow, seq, bytes))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Transmits a page-carrying aggregate on `flow`. The page body moves
+    /// through the ring and the backend to the wire as a shared handle —
+    /// the zero-copy data path the density experiments rely on.
+    pub fn transmit_page(
+        &mut self,
+        hub: &mut NetRingHub,
+        flow: u64,
+        page: PageRef,
+    ) -> Result<u64, RingError> {
+        let seq = self.next_seq;
+        hub.get_mut(self.conn.ring)?
+            .push_request(NetPacket::with_payload(flow, seq, page))?;
         self.next_seq += 1;
         Ok(seq)
     }
@@ -293,22 +339,8 @@ mod tests {
     #[test]
     fn rx_delivered_to_right_guest() {
         let (mut nb, mut nf, mut hub, mut wire) = setup();
-        wire.send_to_guest(
-            DomId(5),
-            NetPacket {
-                flow: 9,
-                seq: 0,
-                bytes: 64_000,
-            },
-        );
-        wire.send_to_guest(
-            DomId(6),
-            NetPacket {
-                flow: 9,
-                seq: 1,
-                bytes: 64_000,
-            },
-        );
+        wire.send_to_guest(DomId(5), NetPacket::meta(9, 0, 64_000));
+        wire.send_to_guest(DomId(6), NetPacket::meta(9, 1, 64_000));
         let stats = nb.process(&mut hub, &mut wire);
         assert_eq!(stats.rx_frames, 1, "only dom5 is attached");
         assert_eq!(stats.dropped, 1, "dom6 frame dropped");
@@ -332,14 +364,7 @@ mod tests {
     fn detached_ring_drops_rx() {
         let (mut nb, nf, mut hub, mut wire) = setup();
         hub.get_mut(nf.conn.ring).unwrap().detach();
-        wire.send_to_guest(
-            DomId(5),
-            NetPacket {
-                flow: 1,
-                seq: 0,
-                bytes: 1000,
-            },
-        );
+        wire.send_to_guest(DomId(5), NetPacket::meta(1, 0, 1000));
         let stats = nb.process(&mut hub, &mut wire);
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.rx_frames, 0);
@@ -355,18 +380,41 @@ mod tests {
     }
 
     #[test]
+    fn tx_page_payload_reaches_wire_by_handle() {
+        let (mut nb, mut nf, mut hub, mut wire) = setup();
+        let page = PageRef::new(&[7u8; 4096]);
+        nf.transmit_page(&mut hub, 3, page.clone()).unwrap();
+        let stats = nb.process(&mut hub, &mut wire);
+        assert_eq!(stats.tx_frames, 1);
+        assert_eq!(stats.tx_bytes, 4096);
+        let out = wire.take_outbound();
+        let wired = out[0].payload.as_ref().expect("payload crosses backend");
+        assert!(
+            PageRef::ptr_eq(&page, wired),
+            "the wire holds the same page body, not a copy"
+        );
+        // The tx completion does not duplicate the body.
+        assert!(nf.receive(&mut hub).unwrap().payload.is_none());
+    }
+
+    #[test]
+    fn rx_page_payload_delivered_by_handle() {
+        let (mut nb, mut nf, mut hub, mut wire) = setup();
+        let page = PageRef::new(&[9u8; 2048]);
+        wire.send_page_to_guest(DomId(5), 4, 0, page.clone());
+        let stats = nb.process(&mut hub, &mut wire);
+        assert_eq!(stats.rx_frames, 1);
+        let got = nf.receive(&mut hub).unwrap();
+        assert!(PageRef::ptr_eq(&page, got.payload.as_ref().unwrap()));
+        assert_eq!(got.bytes, 2048);
+    }
+
+    #[test]
     fn rx_backpressure_requeues() {
         let (mut nb, _nf, mut hub, mut wire) = setup();
         // Flood far beyond the rx cap.
         for i in 0..200 {
-            wire.send_to_guest(
-                DomId(5),
-                NetPacket {
-                    flow: 1,
-                    seq: i,
-                    bytes: 1000,
-                },
-            );
+            wire.send_to_guest(DomId(5), NetPacket::meta(1, i, 1000));
         }
         let stats = nb.process(&mut hub, &mut wire);
         assert!(stats.rx_frames <= 4 * crate::ring::DEFAULT_RING_SLOTS as u64);

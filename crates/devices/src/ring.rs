@@ -306,6 +306,27 @@ mod tests {
     }
 
     #[test]
+    fn page_handles_cross_the_ring_without_copy() {
+        use xoar_hypervisor::memory::PageRef;
+        // Grant-mapped transfers carry page bodies as shared handles: the
+        // backend pops the very allocation the frontend pushed.
+        let mut ring: Ring<PageRef, PageRef> = Ring::new(4);
+        let page = PageRef::new(&[0x5au8; 4096]);
+        ring.push_request(page.clone()).unwrap();
+        let seen = ring.pop_request().unwrap();
+        assert!(
+            PageRef::ptr_eq(&page, &seen),
+            "no byte copy on the request path"
+        );
+        ring.push_response(seen).unwrap();
+        let back = ring.pop_response().unwrap();
+        assert!(
+            PageRef::ptr_eq(&page, &back),
+            "no byte copy on the response path"
+        );
+    }
+
+    #[test]
     fn detach_granter_hits_all_rings_of_domain() {
         let mut hub: RingHub<u32, u32> = RingHub::new();
         hub.create(rid(5, 1));

@@ -58,6 +58,10 @@ pub struct GrantEntry {
 #[derive(Debug, Default)]
 pub struct GrantTable {
     entries: HashMap<u32, GrantEntry>,
+    /// Secondary index: grantee → sorted refs of live entries naming it.
+    /// Maintained by grant/transfer/revoke so [`GrantTable::granted_to`]
+    /// (the per-backend audit query) never scans the whole table.
+    by_grantee: HashMap<DomId, Vec<u32>>,
     next_ref: u32,
     capacity: u32,
 }
@@ -72,6 +76,7 @@ impl GrantTable {
     pub fn new() -> Self {
         GrantTable {
             entries: HashMap::new(),
+            by_grantee: HashMap::new(),
             next_ref: 0,
             capacity: DEFAULT_GRANT_CAPACITY,
         }
@@ -81,6 +86,7 @@ impl GrantTable {
     pub fn with_capacity(capacity: u32) -> Self {
         GrantTable {
             entries: HashMap::new(),
+            by_grantee: HashMap::new(),
             next_ref: 0,
             capacity,
         }
@@ -109,6 +115,7 @@ impl GrantTable {
                 map_count: 0,
             },
         );
+        self.index_add(grantee, gref.0);
         Ok(gref)
     }
 
@@ -169,6 +176,7 @@ impl GrantTable {
                 map_count: 0,
             },
         );
+        self.index_add(grantee, gref.0);
         Ok(gref)
     }
 
@@ -187,6 +195,7 @@ impl GrantTable {
             return Err(GrantError::NotGranted.into());
         }
         let entry = self.entries.remove(&gref.0).expect("checked above");
+        self.index_remove(entry.grantee, gref.0);
         Ok((entry.pfn, entry.mfn))
     }
 
@@ -199,7 +208,9 @@ impl GrantTable {
         if entry.map_count > 0 {
             return Err(GrantError::InUse.into());
         }
+        let grantee = entry.grantee;
         self.entries.remove(&gref.0);
+        self.index_remove(grantee, gref.0);
         Ok(())
     }
 
@@ -223,16 +234,37 @@ impl GrantTable {
         self.entries.values().map(|e| e.map_count).sum()
     }
 
-    /// Entries granted to a specific domain (for audit).
+    /// Entries granted to a specific domain (for audit). Served from the
+    /// per-grantee index in O(entries for that grantee); refs come out
+    /// ascending because grants are issued with monotonically increasing
+    /// refs and removals preserve order.
     pub fn granted_to(&self, grantee: DomId) -> Vec<(GrantRef, &GrantEntry)> {
-        let mut v: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.grantee == grantee)
-            .map(|(&r, e)| (GrantRef(r), e))
-            .collect();
-        v.sort_by_key(|(r, _)| r.0);
-        v
+        let Some(refs) = self.by_grantee.get(&grantee) else {
+            return Vec::new();
+        };
+        refs.iter()
+            .map(|&r| {
+                (
+                    GrantRef(r),
+                    self.entries.get(&r).expect("indexed ref is live"),
+                )
+            })
+            .collect()
+    }
+
+    fn index_add(&mut self, grantee: DomId, r: u32) {
+        self.by_grantee.entry(grantee).or_default().push(r);
+    }
+
+    fn index_remove(&mut self, grantee: DomId, r: u32) {
+        if let Some(refs) = self.by_grantee.get_mut(&grantee) {
+            if let Ok(i) = refs.binary_search(&r) {
+                refs.remove(i);
+            }
+            if refs.is_empty() {
+                self.by_grantee.remove(&grantee);
+            }
+        }
     }
 }
 
@@ -332,6 +364,45 @@ mod tests {
             .grant(DomId(2), Pfn(0), Mfn(1), GrantAccess::ReadOnly)
             .unwrap();
         assert_ne!(a, b, "grant refs must not be recycled immediately");
+    }
+
+    #[test]
+    fn grantee_index_stays_consistent_under_revocation() {
+        let mut t = table();
+        // Interleave grants to three grantees with transfers.
+        let mut refs = Vec::new();
+        for i in 0..30u64 {
+            let grantee = DomId(2 + (i % 3) as u32);
+            let gref = if i % 5 == 4 {
+                t.grant_transfer(grantee, Pfn(i), Mfn(i)).unwrap()
+            } else {
+                t.grant(grantee, Pfn(i), Mfn(i), GrantAccess::ReadOnly)
+                    .unwrap()
+            };
+            refs.push((grantee, gref));
+        }
+        // Revoke every other access grant and accept every transfer.
+        for (grantee, gref) in &refs {
+            match t.entry(*gref).map(|e| e.access) {
+                Some(GrantAccess::Transfer) => {
+                    t.accept_transfer(*grantee, *gref).unwrap();
+                }
+                Some(_) if gref.0 % 2 == 0 => t.end_access(*gref).unwrap(),
+                _ => {}
+            }
+        }
+        // The index answer must equal a linear scan, for every grantee,
+        // in ascending ref order.
+        for d in [DomId(2), DomId(3), DomId(4), DomId(9)] {
+            let via_index: Vec<u32> = t.granted_to(d).iter().map(|(r, _)| r.0).collect();
+            let mut via_scan: Vec<u32> = refs
+                .iter()
+                .filter(|(g, r)| *g == d && t.entry(*r).is_some())
+                .map(|(_, r)| r.0)
+                .collect();
+            via_scan.sort_unstable();
+            assert_eq!(via_index, via_scan, "index diverged for {d:?}");
+        }
     }
 
     #[test]

@@ -136,7 +136,55 @@ xoar_codec::impl_json_enum!(HypercallId {
     PlatformReboot,
 });
 
+/// Number of defined hypercall IDs — the width of the whitelist bitset.
+pub const HYPERCALL_COUNT: usize = 33;
+
 impl HypercallId {
+    /// Every ID in declaration (= `Ord`) order. The whitelist bitset
+    /// iterates this array, which keeps its JSON encoding identical to
+    /// the ordered-set encoding.
+    pub const ALL: [HypercallId; HYPERCALL_COUNT] = [
+        HypercallId::EvtchnSend,
+        HypercallId::EvtchnAllocUnbound,
+        HypercallId::EvtchnBindInterdomain,
+        HypercallId::EvtchnBindVirq,
+        HypercallId::EvtchnClose,
+        HypercallId::GnttabSetup,
+        HypercallId::SchedOp,
+        HypercallId::ConsoleIo,
+        HypercallId::XenVersion,
+        HypercallId::MmuUpdateSelf,
+        HypercallId::VmSnapshot,
+        HypercallId::DomctlCreateDomain,
+        HypercallId::DomctlDestroyDomain,
+        HypercallId::DomctlPauseDomain,
+        HypercallId::DomctlUnpauseDomain,
+        HypercallId::DomctlSetMaxMem,
+        HypercallId::DomctlSetVcpus,
+        HypercallId::DomctlSetRole,
+        HypercallId::DomctlAssignDevice,
+        HypercallId::DomctlDelegate,
+        HypercallId::DomctlSetPrivilegedFor,
+        HypercallId::DomctlIoPortPermission,
+        HypercallId::DomctlMmioPermission,
+        HypercallId::DomctlIrqPermission,
+        HypercallId::DomctlPermitHypercall,
+        HypercallId::MmuMapForeign,
+        HypercallId::MmuWriteForeign,
+        HypercallId::MemoryPopulate,
+        HypercallId::GnttabMapGrantRef,
+        HypercallId::GnttabForeignSetup,
+        HypercallId::VmRollback,
+        HypercallId::SysctlPhysinfo,
+        HypercallId::PlatformReboot,
+    ];
+
+    /// Dense index of this ID (declaration order) — the bit position in
+    /// the whitelist bitset.
+    pub fn index(self) -> u32 {
+        self as u32
+    }
+
     /// Whether the call requires whitelisting.
     pub fn is_privileged(self) -> bool {
         use HypercallId::*;

@@ -10,12 +10,42 @@
 //! security argument rests on the fact that only specific, whitelisted
 //! domains may establish mappings of frames they do not own.
 //!
-//! Frame *contents* are modelled lazily: a frame holds an optional byte
-//! vector capped at [`PAGE_SIZE`], so simulating a multi-gigabyte guest
-//! does not consume gigabytes of host memory.
+//! Frame *contents* are modelled lazily: a frame holds a shared,
+//! immutable page body ([`PageRef`]) capped at [`PAGE_SIZE`], so
+//! simulating a multi-gigabyte guest does not consume gigabytes of host
+//! memory, and `read`/dedup/copy-on-write move reference counts instead
+//! of bytes.
+//!
+//! # Data-path structures
+//!
+//! Three structures keep the hot paths (density dedup, CoW breaking,
+//! snapshot rollback) proportional to the entries they touch rather than
+//! to total machine memory:
+//!
+//! 1. **Shared page bodies.** [`FrameInfo::data`] is an `Rc<[u8]>`
+//!    handle ([`PageRef`]); `read`/`read_mfn` return clones of the
+//!    handle and a CoW break copies a pointer, not a page.
+//! 2. **Reverse index.** `rmap: mfn -> small list of (dom, pfn)` is
+//!    maintained incrementally by every translation-mutating operation
+//!    (populate, CoW break, transfer, dedup, release), so remapping a
+//!    deduplicated frame touches only its actual mappers.
+//! 3. **Content-hash index.** Every non-empty frame body is FNV-1a
+//!    hashed on write and indexed `hash -> mfns`; [`MemoryManager::share_identical`]
+//!    groups by hash and confirms with byte equality — one pass, zero
+//!    page clones. The opt-in [`MemoryManager::set_dedup_on_write`] mode
+//!    merges at write time using the same index.
+//!
+//! All three are redundant views of the p2m + frame tables; they carry
+//! no independent state, so determinism is unaffected (the canonical
+//! frame of a dedup group is still the lowest MFN, and all per-group
+//! merges commute). [`MemoryManager::check_consistency`] recomputes the
+//! shadow model from scratch and is exercised by the interleaving
+//! property tests.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
 
 use crate::domain::DomId;
 use crate::error::{HvResult, MemError};
@@ -47,6 +77,223 @@ impl fmt::Display for Pfn {
     }
 }
 
+/// 64-bit FNV-1a content hash of a page body (in-tree, no dependencies).
+pub fn content_hash(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A cheap, shared handle to an immutable page body.
+///
+/// Reading a page returns a `PageRef` instead of a copied `Vec<u8>`:
+/// cloning the handle bumps a reference count. The handle dereferences
+/// to `[u8]` and compares equal to byte slices, arrays, and `Vec<u8>`,
+/// so existing callers keep working unchanged.
+#[derive(Clone, Eq)]
+pub struct PageRef(Rc<[u8]>);
+
+impl PageRef {
+    /// Wraps a byte slice into a shared page body (one copy, here only).
+    pub fn new(data: &[u8]) -> Self {
+        PageRef(Rc::from(data))
+    }
+
+    /// The empty (zero-filled, never written) page.
+    pub fn empty() -> Self {
+        PageRef(Rc::from(&[][..]))
+    }
+
+    /// Borrows the page bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the page bytes out (compatibility shim for callers that
+    /// genuinely need an owned `Vec<u8>`).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// Whether two handles share the same underlying allocation.
+    pub fn ptr_eq(a: &PageRef, b: &PageRef) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Default for PageRef {
+    fn default() -> Self {
+        PageRef::empty()
+    }
+}
+
+impl Deref for PageRef {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for PageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl PartialEq for PageRef {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for PageRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for PageRef {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&[u8]> for PageRef {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for PageRef {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        &*self.0 == &other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for PageRef {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        &*self.0 == &other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for PageRef {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.0 == other.as_slice()
+    }
+}
+
+impl PartialEq<PageRef> for Vec<u8> {
+    fn eq(&self, other: &PageRef) -> bool {
+        self.as_slice() == &*other.0
+    }
+}
+
+impl From<&[u8]> for PageRef {
+    fn from(data: &[u8]) -> Self {
+        PageRef::new(data)
+    }
+}
+
+impl From<Vec<u8>> for PageRef {
+    fn from(data: Vec<u8>) -> Self {
+        PageRef(Rc::from(data.into_boxed_slice()))
+    }
+}
+
+/// How many reverse-index entries are stored inline before spilling to
+/// the heap. Almost every frame is mapped exactly once; deduplicated
+/// kernel pages are the exception.
+const RMAP_INLINE: usize = 2;
+
+/// A tiny inline-first vector of `(dom, pfn)` mappers (a hand-rolled
+/// smallvec: no external crates).
+#[derive(Debug, Clone)]
+enum RefList {
+    Inline {
+        len: u8,
+        slots: [(DomId, u64); RMAP_INLINE],
+    },
+    Heap(Vec<(DomId, u64)>),
+}
+
+impl Default for RefList {
+    fn default() -> Self {
+        RefList::Inline {
+            len: 0,
+            slots: [(DomId(0), 0); RMAP_INLINE],
+        }
+    }
+}
+
+impl RefList {
+    fn one(dom: DomId, pfn: u64) -> Self {
+        let mut l = RefList::default();
+        l.push(dom, pfn);
+        l
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RefList::Inline { len, .. } => *len as usize,
+            RefList::Heap(v) => v.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[(DomId, u64)] {
+        match self {
+            RefList::Inline { len, slots } => &slots[..*len as usize],
+            RefList::Heap(v) => v,
+        }
+    }
+
+    fn push(&mut self, dom: DomId, pfn: u64) {
+        match self {
+            RefList::Inline { len, slots } => {
+                if (*len as usize) < RMAP_INLINE {
+                    slots[*len as usize] = (dom, pfn);
+                    *len += 1;
+                } else {
+                    let mut v = slots.to_vec();
+                    v.push((dom, pfn));
+                    *self = RefList::Heap(v);
+                }
+            }
+            RefList::Heap(v) => v.push((dom, pfn)),
+        }
+    }
+
+    /// Removes the first occurrence of `(dom, pfn)`, preserving the
+    /// order of the remaining entries (deterministic).
+    fn remove(&mut self, dom: DomId, pfn: u64) -> bool {
+        match self {
+            RefList::Inline { len, slots } => {
+                let n = *len as usize;
+                for i in 0..n {
+                    if slots[i] == (dom, pfn) {
+                        for j in i..n - 1 {
+                            slots[j] = slots[j + 1];
+                        }
+                        *len -= 1;
+                        return true;
+                    }
+                }
+                false
+            }
+            RefList::Heap(v) => {
+                if let Some(i) = v.iter().position(|&e| e == (dom, pfn)) {
+                    v.remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
 /// Per-frame metadata.
 #[derive(Debug, Clone)]
 struct FrameInfo {
@@ -57,12 +304,10 @@ struct FrameInfo {
     foreign_mappings: u32,
     /// Dirty since the owner's last snapshot (CoW tracking).
     dirty_since_snapshot: bool,
-    /// Number of pseudo-physical mappings referencing this frame. 1 =
-    /// exclusive; >1 = deduplicated copy-on-write sharing (Difference
-    /// Engine / Satori style).
-    share_count: u32,
     /// Logical contents (at most one page; empty means zero-filled).
-    data: Vec<u8>,
+    data: PageRef,
+    /// FNV-1a hash of `data`, maintained on every write.
+    hash: u64,
 }
 
 /// Per-domain pseudo-physical address space: `Pfn -> Mfn`.
@@ -75,14 +320,31 @@ struct P2m {
 /// The machine-memory manager.
 ///
 /// Tracks every allocated frame, its owner, and its mapping counts, and
-/// maintains each domain's pseudo-physical map.
-#[derive(Debug)]
+/// maintains each domain's pseudo-physical map. The number of
+/// pseudo-physical mappings referencing a frame (1 = exclusive; >1 =
+/// deduplicated copy-on-write sharing, Difference Engine / Satori
+/// style) is derived from the reverse index, so the share accounting
+/// can never drift from the p2m tables.
+#[derive(Debug, Clone)]
 pub struct MemoryManager {
     total_frames: u64,
     next_mfn: u64,
     frames: HashMap<u64, FrameInfo>,
     p2m: HashMap<DomId, P2m>,
     free_count: u64,
+    /// Reverse index: `mfn -> mappers`. An entry exists iff at least one
+    /// p2m entry references the frame.
+    rmap: HashMap<u64, RefList>,
+    /// Content-hash index over non-empty frames: `hash -> mfns`.
+    by_hash: HashMap<u64, Vec<u64>>,
+    /// Dirty-page candidates per domain: a superset of the PFNs whose
+    /// mapped frame carries a set dirty bit, so `take_dirty` is
+    /// proportional to pages touched, not to domain size.
+    dirty: HashMap<DomId, BTreeSet<u64>>,
+    /// Opt-in incremental dedup: merge at write time (density mode).
+    dedup_on_write: bool,
+    /// Cumulative frames freed by the incremental dedup path.
+    dedup_write_freed: u64,
 }
 
 impl MemoryManager {
@@ -94,6 +356,11 @@ impl MemoryManager {
             frames: HashMap::new(),
             p2m: HashMap::new(),
             free_count: total_frames,
+            rmap: HashMap::new(),
+            by_hash: HashMap::new(),
+            dirty: HashMap::new(),
+            dedup_on_write: false,
+            dedup_write_freed: 0,
         }
     }
 
@@ -112,6 +379,91 @@ impl MemoryManager {
         self.p2m.get(&dom).map_or(0, |m| m.map.len() as u64)
     }
 
+    /// Enables or disables incremental dedup-on-write (density mode).
+    ///
+    /// When enabled, a write whose contents already exist in another
+    /// unpinned frame remaps the written PFN onto that frame instead of
+    /// storing a duplicate — the page is recorded clean, exactly as if
+    /// [`MemoryManager::share_identical`] had run immediately after the
+    /// write. Intended for density-style workloads; snapshot-heavy
+    /// domains should keep the default CoW write path.
+    pub fn set_dedup_on_write(&mut self, on: bool) {
+        self.dedup_on_write = on;
+    }
+
+    /// Whether incremental dedup-on-write is enabled.
+    pub fn dedup_on_write(&self) -> bool {
+        self.dedup_on_write
+    }
+
+    /// Cumulative number of duplicate frames reclaimed by the
+    /// incremental dedup-on-write path.
+    pub fn dedup_write_freed(&self) -> u64 {
+        self.dedup_write_freed
+    }
+
+    fn hash_index_add(&mut self, hash: u64, raw: u64) {
+        self.by_hash.entry(hash).or_default().push(raw);
+    }
+
+    fn hash_index_remove(&mut self, hash: u64, raw: u64) {
+        if let Some(v) = self.by_hash.get_mut(&hash) {
+            if let Some(i) = v.iter().position(|&m| m == raw) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.by_hash.remove(&hash);
+            }
+        }
+    }
+
+    fn rmap_remove(&mut self, raw: u64, dom: DomId, pfn: u64) {
+        if let Some(l) = self.rmap.get_mut(&raw) {
+            l.remove(dom, pfn);
+            if l.len() == 0 {
+                self.rmap.remove(&raw);
+            }
+        }
+    }
+
+    fn rmap_len(&self, raw: u64) -> usize {
+        self.rmap.get(&raw).map_or(0, |l| l.len())
+    }
+
+    /// Sets a frame's dirty bit and records every current mapper as a
+    /// dirty-page candidate.
+    fn mark_dirty(&mut self, mfn: Mfn) {
+        if let Some(f) = self.frames.get_mut(&mfn.0) {
+            f.dirty_since_snapshot = true;
+        }
+        if let Some(l) = self.rmap.get(&mfn.0) {
+            let mappers: Vec<(DomId, u64)> = l.as_slice().to_vec();
+            for (d, p) in mappers {
+                self.dirty.entry(d).or_default().insert(p);
+            }
+        }
+    }
+
+    /// Replaces a frame's body, keeping the content-hash index in sync.
+    fn set_frame_data(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
+        let hash = content_hash(&page);
+        let (old_hash, old_nonempty) = {
+            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            (f.hash, !f.data.is_empty())
+        };
+        if old_nonempty {
+            self.hash_index_remove(old_hash, mfn.0);
+        }
+        let nonempty = !page.is_empty();
+        let f = self.frames.get_mut(&mfn.0).expect("checked above");
+        f.data = page;
+        f.hash = hash;
+        if nonempty {
+            self.hash_index_add(hash, mfn.0);
+        }
+        Ok(())
+    }
+
     /// Allocates `count` frames to `dom`, extending its pseudo-physical
     /// space contiguously. Returns the first new [`Pfn`].
     pub fn populate(&mut self, dom: DomId, count: u64) -> HvResult<Pfn> {
@@ -120,9 +472,15 @@ impl MemoryManager {
         }
         let p2m = self.p2m.entry(dom).or_default();
         let first = Pfn(p2m.next_pfn);
+        let mut new_frames = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let mfn = Mfn(self.next_mfn);
             self.next_mfn += 1;
+            p2m.map.insert(p2m.next_pfn, mfn);
+            new_frames.push((mfn, p2m.next_pfn));
+            p2m.next_pfn += 1;
+        }
+        for (mfn, pfn) in new_frames {
             self.frames.insert(
                 mfn.0,
                 FrameInfo {
@@ -130,12 +488,11 @@ impl MemoryManager {
                     grant_mappings: 0,
                     foreign_mappings: 0,
                     dirty_since_snapshot: false,
-                    share_count: 1,
-                    data: Vec::new(),
+                    data: PageRef::empty(),
+                    hash: content_hash(&[]),
                 },
             );
-            p2m.map.insert(p2m.next_pfn, mfn);
-            p2m.next_pfn += 1;
+            self.rmap.insert(mfn.0, RefList::one(dom, pfn));
         }
         self.free_count -= count;
         Ok(first)
@@ -158,6 +515,18 @@ impl MemoryManager {
             .ok_or_else(|| MemError::BadMfn(mfn.0).into())
     }
 
+    /// The pseudo-physical mappings currently referencing `mfn`, sorted
+    /// by `(dom, pfn)` (the reverse index, read-only).
+    pub fn mappers(&self, mfn: Mfn) -> Vec<(DomId, Pfn)> {
+        let mut v: Vec<(DomId, Pfn)> = self
+            .rmap
+            .get(&mfn.0)
+            .map(|l| l.as_slice().iter().map(|&(d, p)| (d, Pfn(p))).collect())
+            .unwrap_or_default();
+        v.sort_by_key(|&(d, p)| (d.0, p.0));
+        v
+    }
+
     /// Writes `data` into the frame at (`dom`, `pfn`), marking it dirty.
     ///
     /// A write to a deduplicated (shared) frame first breaks the sharing
@@ -170,11 +539,77 @@ impl MemoryManager {
                 data.len()
             )));
         }
+        if self.dedup_on_write && !data.is_empty() && self.try_dedup_write(dom, pfn, data)? {
+            return Ok(());
+        }
         let mfn = self.exclusive_mfn(dom, pfn)?;
-        let frame = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-        frame.data = data.to_vec();
-        frame.dirty_since_snapshot = true;
+        self.set_frame_data(mfn, PageRef::new(data))?;
+        self.mark_dirty(mfn);
         Ok(())
+    }
+
+    /// Incremental dedup: if `data` already exists in an unpinned frame,
+    /// remap (`dom`, `pfn`) onto the lowest such MFN (the same canonical
+    /// choice `share_identical` makes) and reclaim the old frame when
+    /// this was its last reference. Returns whether the write was
+    /// absorbed.
+    fn try_dedup_write(&mut self, dom: DomId, pfn: Pfn, data: &[u8]) -> HvResult<bool> {
+        let cur = self.translate(dom, pfn)?;
+        {
+            let f = self.frames.get(&cur.0).ok_or(MemError::BadMfn(cur.0))?;
+            if f.grant_mappings > 0 || f.foreign_mappings > 0 {
+                // Pinned frames keep the plain CoW write path.
+                return Ok(false);
+            }
+        }
+        let hash = content_hash(data);
+        let mut canon: Option<u64> = None;
+        if let Some(mfns) = self.by_hash.get(&hash) {
+            for &raw in mfns {
+                let Some(f) = self.frames.get(&raw) else {
+                    continue;
+                };
+                if f.grant_mappings > 0 || f.foreign_mappings > 0 {
+                    continue;
+                }
+                if f.data.as_slice() != data {
+                    continue; // Hash collision.
+                }
+                if canon.is_none_or(|c| raw < c) {
+                    canon = Some(raw);
+                }
+            }
+        }
+        let Some(canon) = canon else {
+            return Ok(false);
+        };
+        if canon == cur.0 {
+            // Rewriting identical content to the canonical frame itself.
+            return Ok(true);
+        }
+        // Detach (dom, pfn) from its current frame.
+        self.rmap_remove(cur.0, dom, pfn.0);
+        if self.rmap_len(cur.0) == 0 {
+            let old = self.frames.remove(&cur.0).expect("frame exists");
+            if !old.data.is_empty() {
+                self.hash_index_remove(old.hash, cur.0);
+            }
+            self.free_count += 1;
+            self.dedup_write_freed += 1;
+        }
+        // Attach to the canonical frame.
+        if let Some(m) = self.p2m.get_mut(&dom) {
+            m.map.insert(pfn.0, Mfn(canon));
+        }
+        self.rmap.entry(canon).or_default().push(dom, pfn.0);
+        if self
+            .frames
+            .get(&canon)
+            .is_some_and(|f| f.dirty_since_snapshot)
+        {
+            self.dirty.entry(dom).or_default().insert(pfn.0);
+        }
+        Ok(true)
     }
 
     /// Resolves (`dom`, `pfn`) to a frame exclusively owned by `dom`,
@@ -186,20 +621,22 @@ impl MemoryManager {
     /// would reach other domains' memory.
     pub fn exclusive_mfn(&mut self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
         let mfn = self.translate(dom, pfn)?;
-        let (shared, data) = {
-            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-            (f.share_count > 1, f.data.clone())
-        };
-        if !shared {
+        if self.rmap_len(mfn.0) <= 1 {
             return Ok(mfn);
         }
         if self.free_count == 0 {
             return Err(MemError::OutOfFrames.into());
         }
-        // Allocate a private copy and remap this domain's PFN to it.
+        // Allocate a private copy (of the handle, not the bytes) and
+        // remap this domain's PFN to it.
+        let (data, hash) = {
+            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            (f.data.clone(), f.hash)
+        };
         let new_mfn = Mfn(self.next_mfn);
         self.next_mfn += 1;
         self.free_count -= 1;
+        let nonempty = !data.is_empty();
         self.frames.insert(
             new_mfn.0,
             FrameInfo {
@@ -207,15 +644,18 @@ impl MemoryManager {
                 grant_mappings: 0,
                 foreign_mappings: 0,
                 dirty_since_snapshot: true,
-                share_count: 1,
                 data,
+                hash,
             },
         );
-        if let Some(f) = self.frames.get_mut(&mfn.0) {
-            f.share_count -= 1;
+        if nonempty {
+            self.hash_index_add(hash, new_mfn.0);
         }
+        self.rmap_remove(mfn.0, dom, pfn.0);
+        self.rmap.insert(new_mfn.0, RefList::one(dom, pfn.0));
         let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
         p2m.map.insert(pfn.0, new_mfn);
+        self.dirty.entry(dom).or_default().insert(pfn.0);
         Ok(new_mfn)
     }
 
@@ -223,48 +663,90 @@ impl MemoryManager {
     /// memory-density feature of the paper's introduction [21, 38]).
     ///
     /// Identical, non-empty, unmapped frames are merged onto one
-    /// canonical frame; duplicates are freed; subsequent writes break the
-    /// sharing via copy-on-write. Returns the number of frames freed.
+    /// canonical frame (the lowest MFN of each group, so the result is
+    /// independent of hash-map iteration order); duplicates are freed;
+    /// subsequent writes break the sharing via copy-on-write. A
+    /// duplicate that is itself already shared moves its *entire*
+    /// mapper set onto the canonical frame. Returns the number of
+    /// frames freed.
     pub fn share_identical(&mut self) -> u64 {
-        // Group candidate frames by content.
-        let mut by_content: HashMap<Vec<u8>, Vec<Mfn>> = HashMap::new();
-        for (&raw, f) in &self.frames {
-            if f.data.is_empty() || f.grant_mappings > 0 || f.foreign_mappings > 0 {
+        // One pass over the content-hash index: no page bodies are
+        // cloned and only frames with a hash twin are considered.
+        let mut groups: Vec<Vec<u64>> = Vec::new();
+        for mfns in self.by_hash.values() {
+            if mfns.len() < 2 {
                 continue;
             }
-            by_content.entry(f.data.clone()).or_default().push(Mfn(raw));
+            let mut cand: Vec<u64> = mfns
+                .iter()
+                .copied()
+                .filter(|raw| {
+                    self.frames.get(raw).is_some_and(|f| {
+                        f.grant_mappings == 0 && f.foreign_mappings == 0 && !f.data.is_empty()
+                    })
+                })
+                .collect();
+            if cand.len() < 2 {
+                continue;
+            }
+            cand.sort_unstable();
+            groups.push(cand);
         }
+        groups.sort_unstable_by_key(|g| g[0]);
         let mut freed = 0u64;
-        for (_, mut group) in by_content {
-            if group.len() < 2 {
-                continue;
+        for group in groups {
+            // Byte-equality confirm: split the hash group into buckets
+            // of identical content (collisions stay separate). The
+            // group is MFN-sorted, so each bucket head is its minimum.
+            let mut buckets: Vec<Vec<u64>> = Vec::new();
+            for &raw in &group {
+                let pos = buckets.iter().position(|b| {
+                    let head = &self.frames[&b[0]].data;
+                    let cand = &self.frames[&raw].data;
+                    head == cand
+                });
+                match pos {
+                    Some(i) => buckets[i].push(raw),
+                    None => buckets.push(vec![raw]),
+                }
             }
-            group.sort_by_key(|m| m.0);
-            let canonical = group[0];
-            for dup in &group[1..] {
-                // Remap every PFN that points at the duplicate.
-                let dup_shares = self.frames.get(&dup.0).map_or(0, |f| f.share_count);
-                for p2m in self.p2m.values_mut() {
-                    for target in p2m.map.values_mut() {
-                        if *target == *dup {
-                            *target = canonical;
-                        }
-                    }
+            for bucket in buckets {
+                let canonical = bucket[0];
+                for &dup in &bucket[1..] {
+                    self.merge_frames(canonical, dup);
+                    freed += 1;
                 }
-                if let Some(c) = self.frames.get_mut(&canonical.0) {
-                    c.share_count += dup_shares;
-                }
-                self.frames.remove(&dup.0);
-                self.free_count += 1;
-                freed += 1;
             }
         }
         freed
     }
 
+    /// Moves every mapper of `dup` onto `canonical` and frees `dup`.
+    fn merge_frames(&mut self, canonical: u64, dup: u64) {
+        let moved = self.rmap.remove(&dup).unwrap_or_default();
+        let canon_dirty = self
+            .frames
+            .get(&canonical)
+            .is_some_and(|f| f.dirty_since_snapshot);
+        for &(d, p) in moved.as_slice() {
+            if let Some(m) = self.p2m.get_mut(&d) {
+                m.map.insert(p, Mfn(canonical));
+            }
+            self.rmap.entry(canonical).or_default().push(d, p);
+            if canon_dirty {
+                self.dirty.entry(d).or_default().insert(p);
+            }
+        }
+        let f = self.frames.remove(&dup).expect("duplicate frame exists");
+        if !f.data.is_empty() {
+            self.hash_index_remove(f.hash, dup);
+        }
+        self.free_count += 1;
+    }
+
     /// Number of frames currently shared by more than one mapping.
     pub fn shared_frames(&self) -> u64 {
-        self.frames.values().filter(|f| f.share_count > 1).count() as u64
+        self.rmap.values().filter(|l| l.len() > 1).count() as u64
     }
 
     /// Moves ownership of the frame at (`from`, `pfn`) to `to`, removing
@@ -277,46 +759,49 @@ impl MemoryManager {
         let mfn = self.translate(from, pfn)?;
         {
             let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-            if f.share_count > 1 || f.grant_mappings > 0 || f.foreign_mappings > 0 {
+            if self.rmap_len(mfn.0) > 1 || f.grant_mappings > 0 || f.foreign_mappings > 0 {
                 return Err(MemError::FrameBusy(mfn.0).into());
             }
         }
         // Detach from the source space.
         let src = self.p2m.get_mut(&from).ok_or(MemError::BadPfn(pfn.0))?;
         src.map.remove(&pfn.0);
+        self.rmap_remove(mfn.0, from, pfn.0);
         // Attach to the destination space.
         let dst = self.p2m.entry(to).or_default();
         let new_pfn = Pfn(dst.next_pfn);
         dst.map.insert(dst.next_pfn, mfn);
         dst.next_pfn += 1;
+        self.rmap.insert(mfn.0, RefList::one(to, new_pfn.0));
         if let Some(f) = self.frames.get_mut(&mfn.0) {
             f.owner = to;
-            f.dirty_since_snapshot = true;
         }
+        self.mark_dirty(mfn);
         Ok(new_pfn)
     }
 
-    /// Reads the logical contents of the frame at (`dom`, `pfn`).
-    pub fn read(&self, dom: DomId, pfn: Pfn) -> HvResult<Vec<u8>> {
+    /// Reads the logical contents of the frame at (`dom`, `pfn`) as a
+    /// shared handle (no byte copy).
+    pub fn read(&self, dom: DomId, pfn: Pfn) -> HvResult<PageRef> {
         let mfn = self.translate(dom, pfn)?;
-        Ok(self
-            .frames
-            .get(&mfn.0)
-            .ok_or(MemError::BadMfn(mfn.0))?
-            .data
-            .clone())
+        self.read_mfn(mfn)
     }
 
     /// Writes directly by machine frame (hypervisor-internal paths).
     pub fn write_mfn(&mut self, mfn: Mfn, data: &[u8]) -> HvResult<()> {
-        let frame = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-        frame.data = data.to_vec();
-        frame.dirty_since_snapshot = true;
+        self.write_mfn_page(mfn, PageRef::new(data))
+    }
+
+    /// Writes a shared page body directly by machine frame without
+    /// copying bytes (snapshot rollback, ring payload delivery).
+    pub fn write_mfn_page(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
+        self.set_frame_data(mfn, page)?;
+        self.mark_dirty(mfn);
         Ok(())
     }
 
-    /// Reads directly by machine frame.
-    pub fn read_mfn(&self, mfn: Mfn) -> HvResult<Vec<u8>> {
+    /// Reads directly by machine frame as a shared handle.
+    pub fn read_mfn(&self, mfn: Mfn) -> HvResult<PageRef> {
         Ok(self
             .frames
             .get(&mfn.0)
@@ -361,19 +846,25 @@ impl MemoryManager {
         let Some(p2m) = self.p2m.remove(&dom) else {
             return 0;
         };
+        self.dirty.remove(&dom);
         let mut freed = 0;
-        for (_, mfn) in p2m.map {
-            if let Some(f) = self.frames.get_mut(&mfn.0) {
-                if f.share_count > 1 {
-                    // A deduplicated frame survives; only this mapping
-                    // goes away.
-                    f.share_count -= 1;
-                    continue;
+        for (pfn, mfn) in p2m.map {
+            self.rmap_remove(mfn.0, dom, pfn);
+            if self.rmap_len(mfn.0) > 0 {
+                // A deduplicated frame survives; only this mapping goes
+                // away.
+                continue;
+            }
+            let unmapped = self
+                .frames
+                .get(&mfn.0)
+                .is_some_and(|f| f.grant_mappings == 0 && f.foreign_mappings == 0);
+            if unmapped {
+                let f = self.frames.remove(&mfn.0).expect("frame exists");
+                if !f.data.is_empty() {
+                    self.hash_index_remove(f.hash, mfn.0);
                 }
-                if f.grant_mappings == 0 && f.foreign_mappings == 0 {
-                    self.frames.remove(&mfn.0);
-                    freed += 1;
-                }
+                freed += 1;
             }
         }
         self.free_count += freed;
@@ -381,17 +872,28 @@ impl MemoryManager {
     }
 
     /// Lists the dirty frames of `dom` and clears their dirty bits
-    /// (snapshot support).
+    /// (snapshot support). Proportional to the number of pages written
+    /// since the last call, not to the domain's total memory.
     pub fn take_dirty(&mut self, dom: DomId) -> Vec<(Pfn, Mfn)> {
+        let Some(cands) = self.dirty.remove(&dom) else {
+            return Vec::new();
+        };
         let Some(p2m) = self.p2m.get(&dom) else {
             return Vec::new();
         };
         let mut dirty = Vec::new();
-        for (&pfn, &mfn) in &p2m.map {
-            if let Some(f) = self.frames.get(&mfn.0) {
-                if f.dirty_since_snapshot {
-                    dirty.push((Pfn(pfn), mfn));
-                }
+        for pfn in cands {
+            // BTreeSet iteration: ascending PFN, the order the previous
+            // full-scan implementation produced after sorting.
+            let Some(&mfn) = p2m.map.get(&pfn) else {
+                continue; // Stale candidate: the PFN was remapped away.
+            };
+            if self
+                .frames
+                .get(&mfn.0)
+                .is_some_and(|f| f.dirty_since_snapshot)
+            {
+                dirty.push((Pfn(pfn), mfn));
             }
         }
         for (_, mfn) in &dirty {
@@ -399,7 +901,6 @@ impl MemoryManager {
                 f.dirty_since_snapshot = false;
             }
         }
-        dirty.sort_by_key(|(p, _)| p.0);
         dirty
     }
 
@@ -411,6 +912,104 @@ impl MemoryManager {
         let mut v: Vec<(Pfn, Mfn)> = p2m.map.iter().map(|(&p, &m)| (Pfn(p), m)).collect();
         v.sort_by_key(|(p, _)| p.0);
         v
+    }
+
+    /// Recomputes the shadow model from the p2m tables and asserts that
+    /// every derived structure (reverse index, share accounting, free
+    /// count, content-hash index, dirty candidates) agrees with it.
+    ///
+    /// Test support: exercised by the interleaving property tests.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        // Free accounting: every live frame was debited exactly once.
+        if self.free_count != self.total_frames - self.frames.len() as u64 {
+            return Err(format!(
+                "free_count {} != total {} - frames {}",
+                self.free_count,
+                self.total_frames,
+                self.frames.len()
+            ));
+        }
+        // Shadow reverse index recomputed naively from the p2m tables.
+        let mut shadow: HashMap<u64, Vec<(DomId, u64)>> = HashMap::new();
+        for (&dom, p2m) in &self.p2m {
+            for (&pfn, &mfn) in &p2m.map {
+                if !self.frames.contains_key(&mfn.0) {
+                    return Err(format!("{dom} pfn {pfn} maps missing mfn {:#x}", mfn.0));
+                }
+                shadow.entry(mfn.0).or_default().push((dom, pfn));
+            }
+        }
+        for (raw, mut expect) in shadow {
+            let mut got: Vec<(DomId, u64)> = self
+                .rmap
+                .get(&raw)
+                .map_or_else(Vec::new, |l| l.as_slice().to_vec());
+            expect.sort_by_key(|&(d, p)| (d.0, p));
+            got.sort_by_key(|&(d, p)| (d.0, p));
+            if expect != got {
+                return Err(format!(
+                    "rmap for mfn {raw:#x} disagrees: shadow {expect:?} vs index {got:?}"
+                ));
+            }
+        }
+        for (&raw, l) in &self.rmap {
+            if l.len() == 0 {
+                return Err(format!("empty rmap entry for mfn {raw:#x}"));
+            }
+            for &(d, p) in l.as_slice() {
+                let mapped = self
+                    .p2m
+                    .get(&d)
+                    .and_then(|m| m.map.get(&p))
+                    .is_some_and(|&m| m.0 == raw);
+                if !mapped {
+                    return Err(format!("rmap mfn {raw:#x} lists stale mapper {d} pfn {p}"));
+                }
+            }
+        }
+        // Content-hash index.
+        for (&raw, f) in &self.frames {
+            if f.hash != content_hash(&f.data) {
+                return Err(format!("stale hash for mfn {raw:#x}"));
+            }
+            let indexed = self
+                .by_hash
+                .get(&f.hash)
+                .map_or(0, |v| v.iter().filter(|&&m| m == raw).count());
+            let expect = usize::from(!f.data.is_empty());
+            if indexed != expect {
+                return Err(format!(
+                    "mfn {raw:#x} appears {indexed} times in hash index, expected {expect}"
+                ));
+            }
+        }
+        for (&h, v) in &self.by_hash {
+            for &raw in v {
+                let ok = self
+                    .frames
+                    .get(&raw)
+                    .is_some_and(|f| f.hash == h && !f.data.is_empty());
+                if !ok {
+                    return Err(format!("hash index lists stale mfn {raw:#x}"));
+                }
+            }
+        }
+        // Dirty candidates are a superset of actually-dirty mappings.
+        for (&dom, p2m) in &self.p2m {
+            for (&pfn, &mfn) in &p2m.map {
+                let is_dirty = self
+                    .frames
+                    .get(&mfn.0)
+                    .is_some_and(|f| f.dirty_since_snapshot);
+                if is_dirty && !self.dirty.get(&dom).is_some_and(|s| s.contains(&pfn)) {
+                    return Err(format!(
+                        "dirty frame mfn {:#x} mapped at {dom} pfn {pfn} has no candidate",
+                        mfn.0
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -476,6 +1075,20 @@ mod tests {
         m.populate(d, 1).unwrap();
         m.write(d, Pfn(0), b"start-info").unwrap();
         assert_eq!(m.read(d, Pfn(0)).unwrap(), b"start-info");
+    }
+
+    #[test]
+    fn read_returns_shared_handle_not_copy() {
+        let mut m = mm();
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        m.write(d, Pfn(0), b"page-body").unwrap();
+        let a = m.read(d, Pfn(0)).unwrap();
+        let b = m.read(d, Pfn(0)).unwrap();
+        assert!(
+            PageRef::ptr_eq(&a, &b),
+            "two reads share one page allocation"
+        );
     }
 
     #[test]
@@ -545,6 +1158,23 @@ mod tests {
             assert_eq!(pfn.0, i as u64);
         }
     }
+
+    #[test]
+    fn reverse_index_tracks_mappers() {
+        let mut m = mm();
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 2).unwrap();
+        m.populate(b, 2).unwrap();
+        m.write(a, Pfn(0), b"same").unwrap();
+        m.write(b, Pfn(0), b"same").unwrap();
+        m.share_identical();
+        let mfn = m.translate(a, Pfn(0)).unwrap();
+        assert_eq!(m.mappers(mfn), vec![(a, Pfn(0)), (b, Pfn(0))]);
+        m.write(b, Pfn(0), b"changed").unwrap();
+        assert_eq!(m.mappers(mfn), vec![(a, Pfn(0))]);
+        m.check_consistency().unwrap();
+    }
 }
 
 #[cfg(test)]
@@ -585,6 +1215,7 @@ mod sharing_tests {
         // Private pages untouched.
         assert_eq!(m.read(a, Pfn(4)).unwrap(), b"a-private");
         assert_eq!(m.read(b, Pfn(4)).unwrap(), b"b-private");
+        m.check_consistency().unwrap();
     }
 
     #[test]
@@ -620,6 +1251,20 @@ mod sharing_tests {
         assert_eq!(m.translate(b, Pfn(1)).unwrap(), shared);
         // Contents preserved.
         assert_eq!(m.read(a, Pfn(1)).unwrap(), b"common-kernel-page");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cow_break_shares_the_page_body() {
+        let (mut m, a, b) = twins();
+        m.share_identical();
+        let before = m.read(b, Pfn(1)).unwrap();
+        m.exclusive_mfn(a, Pfn(1)).unwrap();
+        let a_view = m.read(a, Pfn(1)).unwrap();
+        assert!(
+            PageRef::ptr_eq(&before, &a_view),
+            "CoW break moves a handle, not bytes"
+        );
     }
 
     #[test]
@@ -638,6 +1283,7 @@ mod sharing_tests {
             m.write(b, Pfn(pfn), b"rewritten").unwrap();
         }
         assert_eq!(m.shared_frames(), 0);
+        m.check_consistency().unwrap();
     }
 
     #[test]
@@ -668,6 +1314,130 @@ mod sharing_tests {
         let (mut m, _, _) = twins();
         assert_eq!(m.share_identical(), 7);
         assert_eq!(m.share_identical(), 0);
+    }
+
+    /// Regression (share-count move semantics): a duplicate that is
+    /// itself already shared must move its *full* mapper count onto the
+    /// canonical frame, leaving exactly one shared frame behind.
+    #[test]
+    fn dedup_of_already_shared_duplicate_moves_full_count() {
+        let mut m = MemoryManager::new(1024);
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 4).unwrap();
+        m.populate(b, 4).unwrap();
+        // First group: a's two copies merge onto canonical S1.
+        m.write(a, Pfn(0), b"glibc-text").unwrap();
+        m.write(a, Pfn(1), b"glibc-text").unwrap();
+        assert_eq!(m.share_identical(), 1);
+        let s1 = m.translate(a, Pfn(0)).unwrap();
+        // Pin S1 so the next dedup round cannot touch it, then build a
+        // second shared frame S2 with the same content in domain b.
+        m.inc_grant_mapping(s1).unwrap();
+        m.write(b, Pfn(0), b"glibc-text").unwrap();
+        m.write(b, Pfn(1), b"glibc-text").unwrap();
+        assert_eq!(m.share_identical(), 1);
+        let s2 = m.translate(b, Pfn(0)).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(m.shared_frames(), 2, "two independent shared frames");
+        // Unpin S1: the next dedup merges S2 (share count 2) into S1.
+        m.dec_grant_mapping(s1).unwrap();
+        let free_before = m.free_frames();
+        assert_eq!(m.share_identical(), 1, "one duplicate frame freed");
+        assert_eq!(m.free_frames(), free_before + 1);
+        assert_eq!(
+            m.shared_frames(),
+            1,
+            "S2's entire mapper set moved onto S1 — no partially-shared remnant"
+        );
+        for (dom, pfn) in [(a, Pfn(0)), (a, Pfn(1)), (b, Pfn(0)), (b, Pfn(1))] {
+            assert_eq!(m.translate(dom, pfn).unwrap(), s1);
+            assert_eq!(m.read(dom, pfn).unwrap(), b"glibc-text");
+        }
+        m.check_consistency().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod dedup_on_write_tests {
+    use super::*;
+
+    #[test]
+    fn incremental_dedup_matches_bulk_result() {
+        // Bulk: write everything, then share_identical.
+        let mut bulk = MemoryManager::new(1024);
+        // Incremental: dedup as the writes happen.
+        let mut inc = MemoryManager::new(1024);
+        inc.set_dedup_on_write(true);
+        for m in [&mut bulk, &mut inc] {
+            for d in 1..=4u32 {
+                m.populate(DomId(d), 8).unwrap();
+            }
+        }
+        for d in 1..=4u32 {
+            for pfn in 0..8u64 {
+                let body = format!("lib-page-{}", pfn % 4);
+                bulk.write(DomId(d), Pfn(pfn), body.as_bytes()).unwrap();
+                inc.write(DomId(d), Pfn(pfn), body.as_bytes()).unwrap();
+            }
+        }
+        let bulk_freed = bulk.share_identical();
+        assert_eq!(
+            inc.dedup_write_freed(),
+            bulk_freed,
+            "write-time merging reclaims the same duplicates"
+        );
+        assert_eq!(inc.share_identical(), 0, "nothing left for the bulk pass");
+        assert_eq!(inc.free_frames(), bulk.free_frames());
+        assert_eq!(inc.shared_frames(), bulk.shared_frames());
+        for d in 1..=4u32 {
+            for pfn in 0..8u64 {
+                assert_eq!(
+                    inc.read(DomId(d), Pfn(pfn)).unwrap(),
+                    bulk.read(DomId(d), Pfn(pfn)).unwrap()
+                );
+            }
+        }
+        inc.check_consistency().unwrap();
+        bulk.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn incremental_dedup_preserves_cow_isolation() {
+        let mut m = MemoryManager::new(256);
+        m.set_dedup_on_write(true);
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 2).unwrap();
+        m.populate(b, 2).unwrap();
+        m.write(a, Pfn(0), b"same").unwrap();
+        m.write(b, Pfn(0), b"same").unwrap();
+        assert_eq!(m.dedup_write_freed(), 1);
+        // Diverging write CoW-breaks as usual.
+        m.write(b, Pfn(0), b"different").unwrap();
+        assert_eq!(m.read(a, Pfn(0)).unwrap(), b"same");
+        assert_eq!(m.read(b, Pfn(0)).unwrap(), b"different");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn pinned_frames_bypass_incremental_dedup() {
+        let mut m = MemoryManager::new(256);
+        m.set_dedup_on_write(true);
+        let a = DomId(1);
+        let b = DomId(2);
+        m.populate(a, 1).unwrap();
+        m.populate(b, 1).unwrap();
+        m.write(a, Pfn(0), b"ring").unwrap();
+        let mfn = m.translate(b, Pfn(0)).unwrap();
+        m.inc_grant_mapping(mfn).unwrap();
+        m.write(b, Pfn(0), b"ring").unwrap();
+        assert_eq!(m.dedup_write_freed(), 0, "granted frame written in place");
+        assert_ne!(
+            m.translate(a, Pfn(0)).unwrap(),
+            m.translate(b, Pfn(0)).unwrap()
+        );
+        m.check_consistency().unwrap();
     }
 }
 
@@ -709,6 +1479,106 @@ mod sharing_proptests {
                         .unwrap_or_else(|| b"base".to_vec());
                     assert_eq!(m.read(dom, Pfn(pfn)).unwrap(), expect);
                 }
+            }
+        });
+    }
+
+    /// Random interleavings of populate/write/transfer/dedup/release/
+    /// rollback-style operations keep every derived structure (reverse
+    /// index, share accounting, content-hash index, dirty candidates)
+    /// in agreement with the naively recomputed shadow model, and every
+    /// read in agreement with a per-(dom, pfn) content shadow.
+    #[test]
+    fn interleaved_ops_agree_with_shadow_model() {
+        Runner::cases(96).run("interleaved ops vs shadow model", |g| {
+            let incremental = g.u8(0..2) == 1;
+            let ops = g.vec(0..60, |g| {
+                (
+                    g.u8(0..100), // op selector
+                    g.u8(0..3),   // domain selector
+                    g.u64(0..10), // pfn
+                    g.u8(0..5),   // content selector
+                )
+            });
+            let doms = [DomId(1), DomId(2), DomId(3)];
+            let mut m = MemoryManager::new(4096);
+            m.set_dedup_on_write(incremental);
+            // Content shadow: what each live (dom, pfn) must read back.
+            let mut shadow: HashMap<(DomId, u64), Vec<u8>> = HashMap::new();
+            for &d in &doms {
+                m.populate(d, 10).unwrap();
+                for pfn in 0..10u64 {
+                    shadow.insert((d, pfn), Vec::new());
+                }
+            }
+            let mut next_pfn: HashMap<DomId, u64> = doms.iter().map(|&d| (d, 10u64)).collect();
+            for (op, who, pfn, val) in ops {
+                let dom = doms[who as usize % doms.len()];
+                match op {
+                    // Write one of a few contents (guaranteeing cross-
+                    // domain duplicates for the dedup paths).
+                    0..=49 => {
+                        if shadow.contains_key(&(dom, pfn)) {
+                            let body = vec![val; 6];
+                            m.write(dom, Pfn(pfn), &body).unwrap();
+                            shadow.insert((dom, pfn), body);
+                        }
+                    }
+                    // Bulk dedup.
+                    50..=59 => {
+                        m.share_identical();
+                    }
+                    // Page-flip to the next domain (only exclusive,
+                    // unpinned frames transfer).
+                    60..=74 => {
+                        if shadow.contains_key(&(dom, pfn)) {
+                            let to = doms[(who as usize + 1) % doms.len()];
+                            if let Ok(new_pfn) = m.transfer_frame(dom, Pfn(pfn), to) {
+                                let body = shadow.remove(&(dom, pfn)).unwrap();
+                                assert_eq!(new_pfn.0, next_pfn[&to]);
+                                shadow.insert((to, new_pfn.0), body);
+                                *next_pfn.get_mut(&to).unwrap() += 1;
+                            }
+                        }
+                    }
+                    // Rollback-style: drain dirty pages and rewrite one
+                    // of them by MFN.
+                    75..=84 => {
+                        let dirty = m.take_dirty(dom);
+                        if let Some(&(dpfn, mfn)) = dirty.first() {
+                            let body = vec![val ^ 0x5a; 4];
+                            m.write_mfn(mfn, &body).unwrap();
+                            // write_mfn edits the frame in place: every
+                            // mapper of that MFN sees the new bytes.
+                            for (d, p) in m.mappers(mfn) {
+                                shadow.insert((d, p.0), body.clone());
+                            }
+                            let _ = dpfn;
+                        }
+                    }
+                    // Release and repopulate a domain.
+                    85..=89 => {
+                        m.release_domain(dom);
+                        shadow.retain(|&(d, _), _| d != dom);
+                        let first = m.populate(dom, 10).unwrap();
+                        for pfn in first.0..first.0 + 10 {
+                            shadow.insert((dom, pfn), Vec::new());
+                        }
+                        next_pfn.insert(dom, first.0 + 10);
+                    }
+                    // CoW break without a write.
+                    _ => {
+                        if shadow.contains_key(&(dom, pfn)) {
+                            m.exclusive_mfn(dom, Pfn(pfn)).unwrap();
+                        }
+                    }
+                }
+                if let Err(e) = m.check_consistency() {
+                    panic!("inconsistent after op {op}: {e}");
+                }
+            }
+            for (&(dom, pfn), body) in &shadow {
+                assert_eq!(m.read(dom, Pfn(pfn)).unwrap(), *body);
             }
         });
     }

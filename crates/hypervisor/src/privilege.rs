@@ -89,6 +89,260 @@ impl MmioRange {
     }
 }
 
+/// Fixed-size bitset over [`HypercallId`]: the hypercall whitelist.
+///
+/// `permits_hypercall` sits on every hypercall dispatch, so membership
+/// must be a single bit test rather than an ordered-set probe. Iteration
+/// and the JSON encoding follow declaration (= `Ord`) order, keeping the
+/// encoding byte-identical to the `BTreeSet<HypercallId>` this replaced
+/// (the audit-log hash chains pin those bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HypercallSet {
+    bits: u64,
+}
+
+impl HypercallSet {
+    /// Creates an empty whitelist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `id`; returns whether it was newly added.
+    pub fn insert(&mut self, id: HypercallId) -> bool {
+        let m = 1u64 << id.index();
+        let fresh = self.bits & m == 0;
+        self.bits |= m;
+        fresh
+    }
+
+    /// Removes `id`; returns whether it was present.
+    pub fn remove(&mut self, id: HypercallId) -> bool {
+        let m = 1u64 << id.index();
+        let had = self.bits & m != 0;
+        self.bits &= !m;
+        had
+    }
+
+    /// Whether `id` is whitelisted. One bit test.
+    pub fn contains(&self, id: HypercallId) -> bool {
+        self.bits & (1u64 << id.index()) != 0
+    }
+
+    /// Number of whitelisted calls.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the whitelist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whitelisted IDs in `Ord` order.
+    pub fn iter(&self) -> impl Iterator<Item = HypercallId> + '_ {
+        HypercallId::ALL
+            .iter()
+            .copied()
+            .filter(move |id| self.contains(*id))
+    }
+}
+
+impl FromIterator<HypercallId> for HypercallSet {
+    fn from_iter<I: IntoIterator<Item = HypercallId>>(iter: I) -> Self {
+        let mut s = HypercallSet::default();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl xoar_codec::ToJson for HypercallSet {
+    fn to_json(&self) -> xoar_codec::Json {
+        xoar_codec::Json::Arr(self.iter().map(|id| id.to_json()).collect())
+    }
+}
+
+impl xoar_codec::FromJson for HypercallSet {
+    fn from_json(value: &xoar_codec::Json) -> Result<Self, xoar_codec::JsonError> {
+        match value {
+            xoar_codec::Json::Arr(items) => items.iter().map(HypercallId::from_json).collect(),
+            _ => Err(xoar_codec::JsonError::expected("array", "HypercallSet")),
+        }
+    }
+}
+
+/// An ordered set of [`IoPortRange`]s answering point queries by binary
+/// search.
+///
+/// Ranges are kept sorted by `(start, end)`; `prefix_max_end[i]` holds the
+/// largest inclusive end among `ranges[..=i]`, so a port check is a
+/// partition-point search plus one comparison even when ranges overlap
+/// (Dom0 holds `0..=0xffff` alongside narrower grants). Inserts are
+/// config-time and rebuild the prefix array; checks are the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoPortSet {
+    ranges: Vec<IoPortRange>,
+    prefix_max_end: Vec<u16>,
+}
+
+impl IoPortSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `range`; returns whether it was newly added.
+    pub fn insert(&mut self, range: IoPortRange) -> bool {
+        match self.ranges.binary_search(&range) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ranges.insert(pos, range);
+                self.rebuild_prefix();
+                true
+            }
+        }
+    }
+
+    /// Whether any range contains `port`.
+    pub fn contains_port(&self, port: u16) -> bool {
+        let n = self.ranges.partition_point(|r| r.start <= port);
+        n > 0 && self.prefix_max_end[n - 1] >= port
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the set has no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Ranges in `(start, end)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &IoPortRange> {
+        self.ranges.iter()
+    }
+
+    fn rebuild_prefix(&mut self) {
+        self.prefix_max_end.clear();
+        let mut max = 0u16;
+        for r in &self.ranges {
+            max = max.max(r.end);
+            self.prefix_max_end.push(max);
+        }
+    }
+}
+
+impl FromIterator<IoPortRange> for IoPortSet {
+    fn from_iter<I: IntoIterator<Item = IoPortRange>>(iter: I) -> Self {
+        let mut s = IoPortSet::default();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl xoar_codec::ToJson for IoPortSet {
+    fn to_json(&self) -> xoar_codec::Json {
+        xoar_codec::Json::Arr(self.iter().map(|r| r.to_json()).collect())
+    }
+}
+
+impl xoar_codec::FromJson for IoPortSet {
+    fn from_json(value: &xoar_codec::Json) -> Result<Self, xoar_codec::JsonError> {
+        match value {
+            xoar_codec::Json::Arr(items) => items.iter().map(IoPortRange::from_json).collect(),
+            _ => Err(xoar_codec::JsonError::expected("array", "IoPortSet")),
+        }
+    }
+}
+
+/// An ordered set of [`MmioRange`]s answering frame queries by binary
+/// search, mirroring [`IoPortSet`] (ends here are exclusive:
+/// `start_mfn + frames`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MmioSet {
+    ranges: Vec<MmioRange>,
+    prefix_max_end: Vec<u64>,
+}
+
+impl MmioSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `range`; returns whether it was newly added.
+    pub fn insert(&mut self, range: MmioRange) -> bool {
+        match self.ranges.binary_search(&range) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ranges.insert(pos, range);
+                self.rebuild_prefix();
+                true
+            }
+        }
+    }
+
+    /// Whether any region contains `mfn`.
+    pub fn contains_mfn(&self, mfn: u64) -> bool {
+        let n = self.ranges.partition_point(|r| r.start_mfn <= mfn);
+        n > 0 && self.prefix_max_end[n - 1] > mfn
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the set has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Regions in `(start_mfn, frames)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &MmioRange> {
+        self.ranges.iter()
+    }
+
+    fn rebuild_prefix(&mut self) {
+        self.prefix_max_end.clear();
+        let mut max = 0u64;
+        for r in &self.ranges {
+            max = max.max(r.start_mfn + r.frames);
+            self.prefix_max_end.push(max);
+        }
+    }
+}
+
+impl FromIterator<MmioRange> for MmioSet {
+    fn from_iter<I: IntoIterator<Item = MmioRange>>(iter: I) -> Self {
+        let mut s = MmioSet::default();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl xoar_codec::ToJson for MmioSet {
+    fn to_json(&self) -> xoar_codec::Json {
+        xoar_codec::Json::Arr(self.iter().map(|r| r.to_json()).collect())
+    }
+}
+
+impl xoar_codec::FromJson for MmioSet {
+    fn from_json(value: &xoar_codec::Json) -> Result<Self, xoar_codec::JsonError> {
+        match value {
+            xoar_codec::Json::Arr(items) => items.iter().map(MmioRange::from_json).collect(),
+            _ => Err(xoar_codec::JsonError::expected("array", "MmioSet")),
+        }
+    }
+}
+
 /// The complete set of extra privileges assigned to a domain.
 ///
 /// An ordinary guest has `PrivilegeSet::default()`: no assigned devices, no
@@ -101,13 +355,13 @@ pub struct PrivilegeSet {
     pub pci_devices: BTreeSet<PciAddress>,
     /// Privileged hypercalls this domain may issue beyond the unprivileged
     /// default set.
-    pub hypercalls: BTreeSet<HypercallId>,
+    pub hypercalls: HypercallSet,
     /// Domains to which this shard's administration is delegated.
     pub delegated_to: BTreeSet<DomId>,
     /// I/O port ranges this domain may access.
-    pub io_ports: BTreeSet<IoPortRange>,
+    pub io_ports: IoPortSet,
     /// MMIO regions this domain may map.
-    pub mmio: BTreeSet<MmioRange>,
+    pub mmio: MmioSet,
     /// Physical IRQ lines routed to this domain.
     pub irqs: BTreeSet<u32>,
     /// Whether the domain may map arbitrary guest memory (the blanket
@@ -151,19 +405,22 @@ impl PrivilegeSet {
         self.delegated_to.insert(guest);
     }
 
-    /// Whether the domain may issue privileged hypercall `id`.
+    /// Whether the domain may issue privileged hypercall `id` — one bit
+    /// test on the whitelist bitset.
     pub fn permits_hypercall(&self, id: HypercallId) -> bool {
-        !id.is_privileged() || self.hypercalls.contains(&id)
+        !id.is_privileged() || self.hypercalls.contains(id)
     }
 
-    /// Whether the domain may access I/O port `port`.
+    /// Whether the domain may access I/O port `port` — binary search over
+    /// the sorted ranges.
     pub fn permits_io_port(&self, port: u16) -> bool {
-        self.io_ports.iter().any(|r| r.contains(port))
+        self.io_ports.contains_port(port)
     }
 
-    /// Whether the domain may map MMIO frame `mfn`.
+    /// Whether the domain may map MMIO frame `mfn` — binary search over
+    /// the sorted regions.
     pub fn permits_mmio(&self, mfn: u64) -> bool {
-        self.mmio.iter().any(|r| r.contains(mfn))
+        self.mmio.contains_mfn(mfn)
     }
 
     /// Whether the set is completely empty (a plain guest).

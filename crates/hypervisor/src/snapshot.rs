@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use crate::domain::DomId;
 use crate::error::{HvError, HvResult};
-use crate::memory::{MemoryManager, Pfn};
+use crate::memory::{MemoryManager, PageRef, Pfn};
 
 /// A contiguous PFN range registered as a recovery box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +37,10 @@ impl RecoveryBox {
 /// The snapshot image of one domain.
 #[derive(Debug, Clone)]
 pub struct SnapshotImage {
-    /// Frame contents at snapshot time, keyed by PFN.
-    pages: HashMap<u64, Vec<u8>>,
+    /// Frame contents at snapshot time, keyed by PFN. Shared handles:
+    /// taking a snapshot bumps reference counts instead of copying
+    /// pages, so image size is proportional to metadata, not memory.
+    pages: HashMap<u64, PageRef>,
     /// Recovery boxes excluded from rollback.
     boxes: Vec<RecoveryBox>,
     /// Simulation time at which the snapshot was taken (ns).
@@ -127,7 +129,7 @@ impl SnapshotManager {
                 continue;
             }
             let original = image.pages.get(&pfn.0).cloned().unwrap_or_default();
-            mem.write_mfn(mfn, &original)?;
+            mem.write_mfn_page(mfn, original)?;
             restored += 1;
         }
         // Restoration writes re-dirty the frames; clear them so the next

@@ -87,14 +87,9 @@ pub fn run(platform: &mut Platform, guest: DomId, bytes: u64, sink: Sink) -> Wge
         let mut batch = 0;
         while batch < BATCH && remaining > 0 {
             let sz = CHUNK.min(remaining as usize);
-            platform.wire.send_to_guest(
-                guest,
-                NetPacket {
-                    flow: 1,
-                    seq,
-                    bytes: sz,
-                },
-            );
+            platform
+                .wire
+                .send_to_guest(guest, NetPacket::meta(1, seq, sz));
             seq += 1;
             remaining -= sz as u64;
             batch += 1;

@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 
+# Bench gate: run the deterministic harnesses and keep their
+# machine-readable tails (the harness prints one JSON document as the
+# last stdout line) as committed perf baselines at the repo root.
+cargo bench --offline -p xoar-bench --bench microbench | tail -n 1 > BENCH_microbench.json
+cargo bench --offline -p xoar-bench --bench ablation | tail -n 1 > BENCH_ablation.json
+echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
+
 # Style gate, only where a rustfmt toolchain is present.
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check

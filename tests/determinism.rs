@@ -1,0 +1,60 @@
+//! Fixed-seed determinism goldens for the machine-memory data path.
+//!
+//! The PR-2 memory rewrite (shared page buffers, incremental reverse
+//! index, content-hash dedup) must preserve *exact* deterministic
+//! semantics: the same workloads on the same configuration produce
+//! byte-identical counters, run after run and release after release.
+//! These tests pin the counters to literal goldens; a change here means
+//! the data path's observable behaviour changed, not just its speed.
+
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_core::restart::RestartPath;
+use xoar_sim::workloads::{density, restart_sweep};
+
+/// One density run at the paper's 10-VMs-per-core packing.
+fn density_counters() -> (usize, u64, u64, u64, u64, u64) {
+    let mut p = Platform::xoar(XoarConfig::default());
+    let r = density::run(&mut p, 10);
+    let cpu_sum: u64 = r.per_guest_cpu_ns.iter().map(|(_, t)| *t).sum();
+    let cpu_first = r.per_guest_cpu_ns.first().map(|(_, t)| *t).unwrap();
+    let cpu_last = r.per_guest_cpu_ns.last().map(|(_, t)| *t).unwrap();
+    (
+        r.guests,
+        r.service_memory_mib,
+        r.dedup_frames,
+        cpu_sum,
+        cpu_first,
+        cpu_last,
+    )
+}
+
+/// One restart-sweep point: a 2 GB fetch with slow-path restarts every
+/// 5 simulated seconds.
+fn sweep_counters() -> (u64, u64, u64) {
+    let mut p = Platform::xoar(XoarConfig::default());
+    let ts = p.services.toolstacks[0];
+    let g = p
+        .create_guest(ts, GuestConfig::evaluation_guest("wget"))
+        .unwrap();
+    let pt = restart_sweep::run_point(&mut p, g, 2 << 30, 5, RestartPath::Slow);
+    (pt.throughput_mbps.to_bits(), pt.restarts, pt.downtime_ns)
+}
+
+#[test]
+fn density_counters_match_goldens() {
+    assert_eq!(
+        density_counters(),
+        (10, 640, 234, 70_588_230, 7_058_823, 7_058_823)
+    );
+}
+
+#[test]
+fn restart_sweep_counters_match_goldens() {
+    assert_eq!(sweep_counters(), (0x4059_d1b5_2084_d43f, 74, 260_000_000));
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    assert_eq!(density_counters(), density_counters());
+    assert_eq!(sweep_counters(), sweep_counters());
+}

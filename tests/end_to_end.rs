@@ -91,14 +91,8 @@ fn network_echo_through_wire() {
         p.process_netbacks();
         let sent = p.wire.take_outbound();
         assert_eq!(sent.len(), 1);
-        p.wire.send_to_guest(
-            g,
-            NetPacket {
-                flow: 7,
-                seq: 99,
-                bytes: sent[0].bytes,
-            },
-        );
+        p.wire
+            .send_to_guest(g, NetPacket::meta(7, 99, sent[0].bytes));
         p.process_netbacks();
         // First response is the tx completion, then the echo.
         let completions: Vec<_> = std::iter::from_fn(|| p.net_receive(g)).collect();

@@ -154,14 +154,8 @@ fn restart_before_snapshot_fails_loudly() {
 fn wire_flood_does_not_wedge_netback() {
     let (mut p, _ts, g) = xoar_with_guest();
     for i in 0..10_000u64 {
-        p.wire.send_to_guest(
-            g,
-            xoar_devices::net::NetPacket {
-                flow: 1,
-                seq: i,
-                bytes: 1500,
-            },
-        );
+        p.wire
+            .send_to_guest(g, xoar_devices::net::NetPacket::meta(1, i, 1500));
     }
     // Several passes drain the flood with bounded per-pass delivery.
     let mut delivered = 0;
