@@ -1,0 +1,65 @@
+//! `xoar-lint` — Pass B entry point.
+//!
+//! Scans every `crates/*/src/**/*.rs` file in the workspace, applies the
+//! layering rules from [`xoar_analysis::lint`], subtracts the committed
+//! allowlist (`crates/analysis/lint.allow`), and prints the survivors in
+//! stable sorted order. Exits nonzero iff any finding survives.
+//!
+//! Usage: `xoar-lint [--root <repo-root>]` — the root defaults to the
+//! workspace this binary was built from, so `cargo run -p xoar-analysis
+//! --bin xoar-lint` works offline from any cwd.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xoar_analysis::lint::{apply_allowlist, lint_sources, load_tree, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("xoar-lint: --root needs a value");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            other => {
+                eprintln!("xoar-lint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = match load_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xoar-lint: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = root.join("crates/analysis/lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+
+    let findings = lint_sources(&files);
+    let (kept, suppressed) = apply_allowlist(findings, &allow);
+    for f in &kept {
+        println!("{}", f.render());
+    }
+    println!(
+        "xoar-lint: {} file(s), {} finding(s), {} allowlisted",
+        files.len(),
+        kept.len(),
+        suppressed.len()
+    );
+    if kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

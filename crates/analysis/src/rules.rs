@@ -1,0 +1,411 @@
+//! Least-privilege invariants as declarative rules.
+//!
+//! Each rule has a stable string ID (reports and CI gates key on it),
+//! takes the frozen model plus its reachability matrix, and yields zero
+//! or more [`Violation`]s. The rules encode the paper's §3.1/§6.2
+//! security argument as checkable statements:
+//!
+//! | rule ID | invariant |
+//! |---|---|
+//! | `xenstore-no-domain-building` | XenStore/Console shards never hold domain-building hypercalls or blanket memory access |
+//! | `only-builder-blanket` | `map_foreign_any` is held by the Builder alone at steady state |
+//! | `backend-grant-only` | driver backends reach frames only via explicit grants |
+//! | `guest-noninterference` | no guest reaches another guest's memory except through a grant |
+//! | `undeclared-sharing` | guests grant frames only to shards delegated to them (or their stub/toolstack) |
+//! | `constraint-groups` | a shared backend never serves guests from different constraint groups |
+
+use std::collections::BTreeMap;
+
+use xoar_hypervisor::domain::DomainRole;
+use xoar_hypervisor::{DomId, HypercallId};
+
+use crate::reach::{MemPath, Reachability};
+use crate::snapshot::ModelSnapshot;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Stable rule ID.
+    pub rule: &'static str,
+    /// The offending domain.
+    pub subject: DomId,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(rule: &'static str, subject: DomId, detail: String) -> Self {
+        Violation {
+            rule,
+            subject,
+            detail,
+        }
+    }
+
+    /// One-line rendering.
+    pub fn render(&self) -> String {
+        format!("VIOLATION {} {}: {}", self.rule, self.subject, self.detail)
+    }
+}
+
+/// Hypercalls that build or reshape domains — the calls the XenStore and
+/// Console shards must never hold (they are pure service endpoints).
+pub const DOMAIN_BUILDING_CALLS: [HypercallId; 7] = [
+    HypercallId::DomctlCreateDomain,
+    HypercallId::DomctlSetRole,
+    HypercallId::DomctlPermitHypercall,
+    HypercallId::MemoryPopulate,
+    HypercallId::MmuMapForeign,
+    HypercallId::MmuWriteForeign,
+    HypercallId::GnttabForeignSetup,
+];
+
+/// Runs every rule; the result is sorted (deterministic reports).
+pub fn check(snap: &ModelSnapshot, reach: &Reachability) -> Vec<Violation> {
+    let mut out = Vec::new();
+    xenstore_no_domain_building(snap, &mut out);
+    only_builder_blanket(snap, &mut out);
+    backend_grant_only(snap, reach, &mut out);
+    guest_noninterference(snap, reach, &mut out);
+    undeclared_sharing(snap, &mut out);
+    constraint_groups(snap, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn is_backend(kind: &str) -> bool {
+    kind == "netback" || kind == "blkback"
+}
+
+fn is_service_endpoint(kind: &str) -> bool {
+    kind == "xenstore-logic" || kind == "xenstore-state" || kind == "console"
+}
+
+fn xenstore_no_domain_building(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
+    for d in snap.live_domains() {
+        if !is_service_endpoint(&d.kind) {
+            continue;
+        }
+        for id in DOMAIN_BUILDING_CALLS {
+            if d.privileges.hypercalls.contains(id) {
+                out.push(Violation::new(
+                    "xenstore-no-domain-building",
+                    d.id,
+                    format!("{} shard holds {}", d.kind, id.name()),
+                ));
+            }
+        }
+        if d.privileges.map_foreign_any {
+            out.push(Violation::new(
+                "xenstore-no-domain-building",
+                d.id,
+                format!("{} shard holds blanket foreign-memory access", d.kind),
+            ));
+        }
+    }
+}
+
+fn only_builder_blanket(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
+    for d in snap.live_domains() {
+        if d.privileges.map_foreign_any && d.kind != "builder" {
+            out.push(Violation::new(
+                "only-builder-blanket",
+                d.id,
+                format!(
+                    "map_foreign_any held by {} ({}); only the Builder may hold it",
+                    d.id, d.kind
+                ),
+            ));
+        }
+    }
+}
+
+fn backend_grant_only(snap: &ModelSnapshot, reach: &Reachability, out: &mut Vec<Violation>) {
+    for d in snap.live_domains() {
+        if !is_backend(&d.kind) {
+            continue;
+        }
+        for (&(accessor, owner), paths) in &reach.mem {
+            if accessor != d.id {
+                continue;
+            }
+            for p in paths {
+                if !matches!(p, MemPath::Grant { .. }) {
+                    out.push(Violation::new(
+                        "backend-grant-only",
+                        d.id,
+                        format!(
+                            "{} reaches {}'s memory via {} (only frontend grants allowed)",
+                            d.kind,
+                            owner,
+                            p.label()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn guest_noninterference(snap: &ModelSnapshot, reach: &Reachability, out: &mut Vec<Violation>) {
+    for (&(accessor, owner), paths) in &reach.mem {
+        let (Some(a), Some(o)) = (snap.domains.get(&accessor), snap.domains.get(&owner)) else {
+            continue;
+        };
+        if a.role != DomainRole::Guest || o.role != DomainRole::Guest {
+            continue;
+        }
+        for p in paths {
+            if !matches!(p, MemPath::Grant { .. }) {
+                out.push(Violation::new(
+                    "guest-noninterference",
+                    accessor,
+                    format!(
+                        "guest {} reaches guest {}'s memory via {} (must traverse a grant)",
+                        accessor,
+                        owner,
+                        p.label()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn undeclared_sharing(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
+    for g in &snap.grants {
+        let Some(granter) = snap.domains.get(&g.granter) else {
+            continue;
+        };
+        if granter.role != DomainRole::Guest || !granter.is_live() {
+            continue;
+        }
+        let declared = granter.delegated_shards.contains(&g.grantee)
+            || granter.parent_toolstack == Some(g.grantee)
+            || snap
+                .domains
+                .get(&g.grantee)
+                .is_some_and(|e| e.privileged_for.contains(&g.granter));
+        if !declared {
+            out.push(Violation::new(
+                "undeclared-sharing",
+                g.granter,
+                format!(
+                    "guest {} grants pfn {} (ref {}) to {}, which is not a delegated \
+                     shard, its toolstack, or its device model",
+                    g.granter, g.pfn, g.gref, g.grantee
+                ),
+            ));
+        }
+    }
+}
+
+fn constraint_groups(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
+    // grantee shard -> first (group, guest) seen among its granter guests.
+    let mut adopted: BTreeMap<DomId, (String, DomId)> = BTreeMap::new();
+    for g in &snap.grants {
+        let Some(grantee) = snap.domains.get(&g.grantee) else {
+            continue;
+        };
+        let Some(granter) = snap.domains.get(&g.granter) else {
+            continue;
+        };
+        if grantee.role == DomainRole::Guest || granter.role != DomainRole::Guest {
+            continue;
+        }
+        let Some(group) = &granter.constraint_group else {
+            continue;
+        };
+        match adopted.get(&g.grantee) {
+            None => {
+                adopted.insert(g.grantee, (group.clone(), g.granter));
+            }
+            Some((first, first_guest)) if first != group => {
+                out.push(Violation::new(
+                    "constraint-groups",
+                    g.grantee,
+                    format!(
+                        "shard {} serves guest {} (group {:?}) and guest {} (group {:?})",
+                        g.grantee, first_guest, first, g.granter, group
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{DomainInfo, GrantEdge};
+
+    fn builder(id: u32) -> DomainInfo {
+        let mut d = DomainInfo::fixture(DomId(id), "builder", DomainRole::Shard);
+        d.privileges.map_foreign_any = true;
+        d
+    }
+
+    fn netback(id: u32) -> DomainInfo {
+        DomainInfo::fixture(DomId(id), "netback", DomainRole::Shard)
+    }
+
+    fn toolstack(id: u32) -> DomainInfo {
+        DomainInfo::fixture(DomId(id), "toolstack", DomainRole::Shard)
+    }
+
+    fn guest(id: u32, netback: u32, toolstack: u32) -> DomainInfo {
+        let mut d = DomainInfo::fixture(DomId(id), "guest", DomainRole::Guest);
+        d.delegated_shards.insert(DomId(netback));
+        d.parent_toolstack = Some(DomId(toolstack));
+        d
+    }
+
+    fn grant(granter: u32, grantee: u32, gref: u32) -> GrantEdge {
+        GrantEdge {
+            granter: DomId(granter),
+            grantee: DomId(grantee),
+            gref,
+            pfn: 4,
+            writable: true,
+        }
+    }
+
+    /// A hand-built least-privilege platform: builder + netback +
+    /// toolstack + two guests granting only to their delegated backend.
+    fn known_good() -> ModelSnapshot {
+        ModelSnapshot::fixture()
+            .with_domain(builder(1))
+            .with_domain(netback(2))
+            .with_domain(toolstack(3))
+            .with_domain(guest(10, 2, 3))
+            .with_domain(guest(11, 2, 3))
+            .with_grant(grant(10, 2, 0))
+            .with_grant(grant(11, 2, 0))
+    }
+
+    fn run(snap: &ModelSnapshot) -> Vec<Violation> {
+        let reach = Reachability::compute(snap);
+        check(snap, &reach)
+    }
+
+    #[test]
+    fn known_good_platform_is_clean() {
+        assert_eq!(run(&known_good()), vec![]);
+    }
+
+    #[test]
+    fn over_privileged_backend_fires_two_rules() {
+        let mut snap = known_good();
+        snap.domains
+            .get_mut(&DomId(2))
+            .unwrap()
+            .privileges
+            .map_foreign_any = true;
+        let v = run(&snap);
+        let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"only-builder-blanket"), "{v:?}");
+        assert!(rules.contains(&"backend-grant-only"), "{v:?}");
+    }
+
+    #[test]
+    fn xenstore_holding_builder_calls_is_flagged() {
+        let mut xs = DomainInfo::fixture(DomId(4), "xenstore-state", DomainRole::Shard);
+        xs.privileges
+            .permit_hypercall(HypercallId::DomctlCreateDomain);
+        let snap = known_good().with_domain(xs);
+        let v = run(&snap);
+        assert!(
+            v.iter().any(|x| x.rule == "xenstore-no-domain-building"
+                && x.subject == DomId(4)
+                && x.detail.contains("domctl.create")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_sharing_edge_is_flagged() {
+        // Guest 10 grants a frame to netback 5, which was never
+        // delegated to it.
+        let snap = known_good()
+            .with_domain(netback(5))
+            .with_grant(grant(10, 5, 1));
+        let v = run(&snap);
+        assert_eq!(
+            v.iter().filter(|x| x.rule == "undeclared-sharing").count(),
+            1,
+            "{v:?}"
+        );
+        assert!(v.iter().any(|x| x.subject == DomId(10)));
+    }
+
+    #[test]
+    fn qemu_stub_grant_is_declared_sharing() {
+        // A grant to the guest's device model (privileged_for edge) is
+        // declared even though the stub is not in delegated_shards.
+        let mut qemu = DomainInfo::fixture(DomId(6), "qemu", DomainRole::Shard);
+        qemu.privileged_for.insert(DomId(10));
+        let snap = known_good().with_domain(qemu).with_grant(grant(10, 6, 1));
+        assert_eq!(run(&snap), vec![]);
+    }
+
+    #[test]
+    fn guest_mapping_guest_violates_noninterference() {
+        let mut snap = known_good();
+        snap.domains
+            .get_mut(&DomId(10))
+            .unwrap()
+            .privileged_for
+            .insert(DomId(11));
+        let v = run(&snap);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "guest-noninterference" && x.subject == DomId(10)),
+            "{v:?}"
+        );
+        // An explicit guest-to-guest grant, by contrast, is consent.
+        let snap2 = known_good().with_grant(grant(10, 11, 3));
+        assert!(run(&snap2)
+            .iter()
+            .all(|x| x.rule != "guest-noninterference"));
+    }
+
+    #[test]
+    fn mixed_constraint_groups_on_one_shard_flagged() {
+        let mut snap = known_good();
+        snap.domains.get_mut(&DomId(10)).unwrap().constraint_group = Some("a".into());
+        snap.domains.get_mut(&DomId(11)).unwrap().constraint_group = Some("b".into());
+        let v = run(&snap);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "constraint-groups" && x.subject == DomId(2)),
+            "{v:?}"
+        );
+        // Same group: fine.
+        snap.domains.get_mut(&DomId(11)).unwrap().constraint_group = Some("a".into());
+        assert_eq!(run(&snap), vec![]);
+    }
+
+    #[test]
+    fn dead_domains_are_ignored() {
+        let mut snap = known_good();
+        let d = snap.domains.get_mut(&DomId(2)).unwrap();
+        d.privileges.map_foreign_any = true;
+        d.state = xoar_hypervisor::DomainState::Dead;
+        assert_eq!(run(&snap), vec![]);
+    }
+
+    #[test]
+    fn violations_sort_deterministically() {
+        let mut snap = known_good();
+        snap.domains
+            .get_mut(&DomId(2))
+            .unwrap()
+            .privileges
+            .map_foreign_any = true;
+        let a = run(&snap);
+        let b = run(&snap);
+        assert_eq!(a, b);
+    }
+}

@@ -422,8 +422,10 @@ mod tests {
         }
         assert!(!wl.contains(&HypercallId::PlatformReboot));
         // §4.3: "Dom0 tools such as the VM builder … directly map the
-        // target VM's memory during VM creation" — the Builder retains
-        // exactly that mapping right, and nothing host-destructive.
-        assert!(wl.contains(&HypercallId::MmuMapForeign));
+        // target VM's memory during VM creation" — in this model the
+        // Builder *writes* start info (MmuWriteForeign) but never takes
+        // ongoing foreign mappings; that scoped right belongs to QemuVM
+        // stubs, so MmuMapForeign stays off the Builder's whitelist.
+        assert!(!wl.contains(&HypercallId::MmuMapForeign));
     }
 }

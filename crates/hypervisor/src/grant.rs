@@ -194,7 +194,10 @@ impl GrantTable {
         if entry.access != GrantAccess::Transfer {
             return Err(GrantError::NotGranted.into());
         }
-        let entry = self.entries.remove(&gref.0).expect("checked above");
+        let entry = self
+            .entries
+            .remove(&gref.0)
+            .ok_or(GrantError::BadRef(gref.0))?;
         self.index_remove(entry.grantee, gref.0);
         Ok((entry.pfn, entry.mfn))
     }
@@ -234,6 +237,18 @@ impl GrantTable {
         self.entries.values().map(|e| e.map_count).sum()
     }
 
+    /// All live entries in ascending ref order (audit/analysis surface;
+    /// sorted so downstream reports are deterministic).
+    pub fn entries_sorted(&self) -> Vec<(GrantRef, &GrantEntry)> {
+        let mut out: Vec<(GrantRef, &GrantEntry)> = self
+            .entries
+            .iter()
+            .map(|(&r, e)| (GrantRef(r), e))
+            .collect();
+        out.sort_by_key(|(r, _)| r.0);
+        out
+    }
+
     /// Entries granted to a specific domain (for audit). Served from the
     /// per-grantee index in O(entries for that grantee); refs come out
     /// ascending because grants are issued with monotonically increasing
@@ -243,12 +258,7 @@ impl GrantTable {
             return Vec::new();
         };
         refs.iter()
-            .map(|&r| {
-                (
-                    GrantRef(r),
-                    self.entries.get(&r).expect("indexed ref is live"),
-                )
-            })
+            .filter_map(|&r| self.entries.get(&r).map(|e| (GrantRef(r), e)))
             .collect()
     }
 

@@ -145,10 +145,7 @@ impl Hypervisor {
         dom.created_at_ns = self.now_ns;
         self.register(dom)?;
         self.mem.populate(id, memory_mib * FRAMES_PER_MIB / 64)?;
-        self.domains
-            .get_mut(&id)
-            .expect("just registered")
-            .unpause();
+        self.domain_mut(id)?.unpause();
         self.sched.set_runnable(id, true);
         Ok(id)
     }
@@ -355,19 +352,28 @@ impl Hypervisor {
                 // A deduplicated frame must never be exported: break CoW
                 // sharing before granting.
                 let mfn = self.mem.exclusive_mfn(caller, pfn)?;
-                let table = self.grants.get_mut(&caller).expect("registered domain");
+                let table = self
+                    .grants
+                    .get_mut(&caller)
+                    .ok_or(HvError::NoSuchDomain(caller))?;
                 let gref = table.grant(grantee, pfn, mfn, access)?;
                 Ok(HypercallRet::GrantRef(gref))
             }
             GnttabEndAccess { gref } => {
-                let table = self.grants.get_mut(&caller).expect("registered domain");
+                let table = self
+                    .grants
+                    .get_mut(&caller)
+                    .ok_or(HvError::NoSuchDomain(caller))?;
                 table.end_access(gref)?;
                 Ok(HypercallRet::Ok)
             }
             GnttabGrantTransfer { grantee, pfn } => {
                 self.check_ivc(caller, grantee)?;
                 let mfn = self.mem.exclusive_mfn(caller, pfn)?;
-                let table = self.grants.get_mut(&caller).expect("registered domain");
+                let table = self
+                    .grants
+                    .get_mut(&caller)
+                    .ok_or(HvError::NoSuchDomain(caller))?;
                 let gref = table.grant_transfer(grantee, pfn, mfn)?;
                 Ok(HypercallRet::GrantRef(gref))
             }

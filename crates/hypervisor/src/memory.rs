@@ -455,7 +455,7 @@ impl MemoryManager {
             self.hash_index_remove(old_hash, mfn.0);
         }
         let nonempty = !page.is_empty();
-        let f = self.frames.get_mut(&mfn.0).expect("checked above");
+        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         f.data = page;
         f.hash = hash;
         if nonempty {
@@ -590,12 +590,13 @@ impl MemoryManager {
         // Detach (dom, pfn) from its current frame.
         self.rmap_remove(cur.0, dom, pfn.0);
         if self.rmap_len(cur.0) == 0 {
-            let old = self.frames.remove(&cur.0).expect("frame exists");
-            if !old.data.is_empty() {
-                self.hash_index_remove(old.hash, cur.0);
+            if let Some(old) = self.frames.remove(&cur.0) {
+                if !old.data.is_empty() {
+                    self.hash_index_remove(old.hash, cur.0);
+                }
+                self.free_count += 1;
+                self.dedup_write_freed += 1;
             }
-            self.free_count += 1;
-            self.dedup_write_freed += 1;
         }
         // Attach to the canonical frame.
         if let Some(m) = self.p2m.get_mut(&dom) {
@@ -737,11 +738,12 @@ impl MemoryManager {
                 self.dirty.entry(d).or_default().insert(p);
             }
         }
-        let f = self.frames.remove(&dup).expect("duplicate frame exists");
-        if !f.data.is_empty() {
-            self.hash_index_remove(f.hash, dup);
+        if let Some(f) = self.frames.remove(&dup) {
+            if !f.data.is_empty() {
+                self.hash_index_remove(f.hash, dup);
+            }
+            self.free_count += 1;
         }
-        self.free_count += 1;
     }
 
     /// Number of frames currently shared by more than one mapping.
@@ -860,11 +862,12 @@ impl MemoryManager {
                 .get(&mfn.0)
                 .is_some_and(|f| f.grant_mappings == 0 && f.foreign_mappings == 0);
             if unmapped {
-                let f = self.frames.remove(&mfn.0).expect("frame exists");
-                if !f.data.is_empty() {
-                    self.hash_index_remove(f.hash, mfn.0);
+                if let Some(f) = self.frames.remove(&mfn.0) {
+                    if !f.data.is_empty() {
+                        self.hash_index_remove(f.hash, mfn.0);
+                    }
+                    freed += 1;
                 }
-                freed += 1;
             }
         }
         self.free_count += freed;

@@ -142,7 +142,9 @@ impl CreditScheduler {
         // First pass: proportional share, capped.
         let mut leftover: u64 = 0;
         for d in &runnable {
-            let e = self.entries.get_mut(d).expect("runnable entry");
+            let Some(e) = self.entries.get_mut(d) else {
+                continue;
+            };
             let share = total_cpu_ns * e.params.weight as u64 / total_weight.max(1);
             // A domain cannot exceed one CPU's worth of time per VCPU; the
             // model uses one VCPU per accounting entity, optionally capped.
@@ -165,7 +167,9 @@ impl CreditScheduler {
             if !uncapped.is_empty() {
                 let extra = leftover / uncapped.len() as u64;
                 for d in &uncapped {
-                    let e = self.entries.get_mut(d).expect("uncapped entry");
+                    let Some(e) = self.entries.get_mut(d) else {
+                        continue;
+                    };
                     let already = granted.get(d).copied().unwrap_or(0);
                     let room = period_ns.saturating_sub(already);
                     let add = extra.min(room);
@@ -176,9 +180,12 @@ impl CreditScheduler {
         }
         // Credit refresh: earn by weight, burn by time used.
         for d in &runnable {
-            let e = self.entries.get_mut(d).expect("runnable entry");
+            let Some(e) = self.entries.get_mut(d) else {
+                continue;
+            };
             let earn = CREDITS_PER_PERIOD * e.params.weight as i64 / total_weight.max(1) as i64;
-            let burn = (granted[d] / 1_000) as i64; // 1 credit per microsecond.
+            // 1 credit per microsecond.
+            let burn = (granted.get(d).copied().unwrap_or(0) / 1_000) as i64;
             e.credits = (e.credits + earn - burn).clamp(-CREDITS_PER_PERIOD, CREDITS_PER_PERIOD);
         }
         granted

@@ -125,6 +125,12 @@ impl XenStoreLogic {
         self.privileged.contains(&dom)
     }
 
+    /// All domains holding privileged connections, in ascending order
+    /// (audit/analysis surface: these are the ACL-bypass principals).
+    pub fn privileged_domains(&self) -> Vec<DomId> {
+        self.privileged.iter().copied().collect()
+    }
+
     /// Simulates a microreboot of Logic: all volatile state is discarded
     /// and then recovered from State. Privileged-connection marks are
     /// restored from `privileged` (they come from the boot configuration,

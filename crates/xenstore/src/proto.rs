@@ -322,6 +322,11 @@ impl XenStore {
         self.state.ops_served()
     }
 
+    /// Read-only access to Logic (audit/analysis tooling).
+    pub fn logic(&self) -> &XenStoreLogic {
+        &self.logic
+    }
+
     /// Direct access to Logic (tests, restart policies).
     pub fn logic_mut(&mut self) -> &mut XenStoreLogic {
         &mut self.logic

@@ -18,6 +18,15 @@ cargo bench --offline -p xoar-bench --bench microbench | tail -n 1 > BENCH_micro
 cargo bench --offline -p xoar-bench --bench ablation | tail -n 1 > BENCH_ablation.json
 echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
 
+# Analysis gate: Pass A (model-level privilege-flow audit over the
+# traced reference scenario, plus the selftest proving the rules fire on
+# injected violations) and Pass B (token-level boundary/no-panic/
+# dispatch lint over crates/*/src with the committed allowlist). Each
+# exits nonzero on any violation or un-allowlisted finding.
+cargo run --release --offline -p xoar-analysis --bin xoar-analyzer
+cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --selftest
+cargo run --release --offline -p xoar-analysis --bin xoar-lint
+
 # Style gate, only where a rustfmt toolchain is present.
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
