@@ -17,6 +17,8 @@ use xoar_analysis::overpriv;
 use xoar_analysis::reach::Reachability;
 use xoar_analysis::rules;
 use xoar_analysis::snapshot::{GrantEdge, ModelSnapshot};
+use xoar_core::platform::Platform;
+use xoar_hypervisor::{HvError, Hypercall, HypercallId, HypercallRet};
 
 fn main() -> ExitCode {
     let selftest = std::env::args().any(|a| a == "--selftest");
@@ -31,7 +33,7 @@ fn main() -> ExitCode {
     let snap = ModelSnapshot::capture(&platform);
 
     if selftest {
-        return run_selftest(snap);
+        return run_selftest(&mut platform, snap);
     }
 
     let reach = Reachability::compute(&snap);
@@ -58,8 +60,10 @@ fn main() -> ExitCode {
 }
 
 /// Injects over-privilege and undeclared sharing, then checks the rules
-/// fire. Success means the analyzer detects what it claims to detect.
-fn run_selftest(mut snap: ModelSnapshot) -> ExitCode {
+/// fire; also probes the live platform with a smuggled privileged
+/// sub-call inside a Multicall batch. Success means the analyzer (and
+/// the hypercall gate it audits) detects what it claims to detect.
+fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
     let netback = snap
         .live_domains()
         .find(|d| d.kind == "netback")
@@ -98,10 +102,42 @@ fn run_selftest(mut snap: ModelSnapshot) -> ExitCode {
     });
     snap.grants.sort();
 
+    // Injection 3 (live platform): a shard abuses the unprivileged
+    // Multicall to smuggle a privileged sub-call it is not whitelisted
+    // for. The gate must deny the entry per-Xen-semantics (no batch
+    // abort) AND the attempt must land in the trace, where the
+    // privilege-flow audit sees it — batching must not launder calls.
+    let nb = platform.services.netbacks[0];
+    let ret = platform.hv.hypercall(
+        nb,
+        Hypercall::Multicall {
+            calls: vec![Hypercall::SysctlPhysinfo],
+        },
+    );
+    let smuggle_denied = matches!(
+        &ret,
+        Ok(HypercallRet::Multi(entries))
+            if entries.len() == 1
+                && matches!(entries[0], Err(HvError::PermissionDenied { .. }))
+    );
+    let smuggle_traced = platform
+        .hv
+        .take_trace()
+        .iter()
+        .any(|t| t.caller == nb && t.id == HypercallId::SysctlPhysinfo && !t.allowed);
+
     let reach = Reachability::compute(&snap);
     let violations = rules::check(&snap, &reach);
     let rules_fired: Vec<&str> = violations.iter().map(|v| v.rule).collect();
     let mut ok = true;
+    if smuggle_denied && smuggle_traced {
+        println!("selftest: multicall smuggled sub-call denied and traced");
+    } else {
+        eprintln!(
+            "selftest: FAIL — multicall smuggling (denied={smuggle_denied} traced={smuggle_traced})"
+        );
+        ok = false;
+    }
     for expected in [
         "only-builder-blanket",
         "backend-grant-only",

@@ -1,0 +1,174 @@
+//! `bench-gate` — CI regression gate over the microbench JSON.
+//!
+//! Usage: `bench-gate <baseline.json> <fresh.json>`
+//!
+//! Compares the fresh run's medians against the committed baseline for
+//! the hot-path entries of the batched I/O data path and fails (exit 1)
+//! if any regressed by more than the allowed factor. Entries absent
+//! from the baseline are reported and skipped, so adding a new bench
+//! does not break CI on the run that introduces it; entries absent from
+//! the fresh run fail loudly — a silently dropped bench is not a pass.
+
+use std::process::ExitCode;
+
+use xoar_codec::{parse, Json};
+
+/// Entries the gate enforces: the per-op and batched data-path costs the
+/// perf argument rests on.
+const HOT_PATHS: [&str; 8] = [
+    "hypercall/sched_yield",
+    "evtchn/send_poll",
+    "grant/map_unmap",
+    "blk/submit_process_poll",
+    "net/transmit_process",
+    "grant/map_unmap_batch32",
+    "evtchn/send_coalesced",
+    "blk/submit_batch",
+];
+
+/// A fresh median above `baseline * MAX_RATIO` fails the gate. 2x keeps
+/// headroom for shared-runner noise while still catching real
+/// regressions (the batching work moved these entries by more than 2x
+/// the other way).
+const MAX_RATIO: f64 = 2.0;
+
+fn as_ns(v: &Json) -> Option<f64> {
+    match v {
+        Json::F64(x) => Some(*x),
+        Json::U64(n) => Some(*n as f64),
+        Json::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Extracts `name -> median_ns` from a harness JSON document.
+fn medians(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    let mut out = Vec::with_capacity(results.len());
+    for entry in results {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("entry without name")?;
+        let median = entry
+            .get("median_ns")
+            .and_then(as_ns)
+            .ok_or_else(|| format!("entry {name} without median_ns"))?;
+        out.push((name.to_string(), median));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    // The harness prints the JSON document as the last stdout line; accept
+    // either a bare document or a captured multi-line log.
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path} is empty"))?;
+    let doc = parse(line).map_err(|e| format!("parse {path}: {e}"))?;
+    medians(&doc)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench-gate <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let find =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, m)| m);
+    let mut failed = false;
+    for name in HOT_PATHS {
+        let Some(new) = find(&fresh, name) else {
+            eprintln!("bench-gate: FAIL {name}: missing from fresh run");
+            failed = true;
+            continue;
+        };
+        let Some(old) = find(&baseline, name) else {
+            println!("bench-gate: skip {name}: not in baseline yet ({new:.1} ns)");
+            continue;
+        };
+        let ratio = if old > 0.0 { new / old } else { f64::INFINITY };
+        if ratio > MAX_RATIO {
+            eprintln!(
+                "bench-gate: FAIL {name}: {old:.1} ns -> {new:.1} ns ({ratio:.2}x > {MAX_RATIO}x)"
+            );
+            failed = true;
+        } else {
+            println!("bench-gate: ok   {name}: {old:.1} ns -> {new:.1} ns ({ratio:.2}x)");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench-gate: no hot-path regression beyond {MAX_RATIO}x");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64)]) -> Json {
+        Json::Obj(vec![(
+            "results".to_string(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|&(n, m)| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(n.to_string())),
+                            ("median_ns".to_string(), Json::F64(m)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn medians_extracts_names_and_values() {
+        let d = doc(&[("a/b", 10.5), ("c/d", 2.0)]);
+        let m = medians(&d).unwrap();
+        assert_eq!(m, vec![("a/b".to_string(), 10.5), ("c/d".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn medians_rejects_malformed() {
+        assert!(medians(&Json::Null).is_err());
+        let no_median = Json::Obj(vec![(
+            "results".to_string(),
+            Json::Arr(vec![Json::Obj(vec![(
+                "name".to_string(),
+                Json::Str("x".to_string()),
+            )])]),
+        )]);
+        assert!(medians(&no_median).is_err());
+    }
+
+    #[test]
+    fn integer_medians_accepted() {
+        let d = Json::Obj(vec![(
+            "results".to_string(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".to_string(), Json::Str("x".to_string())),
+                ("median_ns".to_string(), Json::U64(40758716)),
+            ])]),
+        )]);
+        assert_eq!(medians(&d).unwrap(), vec![("x".to_string(), 40758716.0)]);
+    }
+}

@@ -893,6 +893,39 @@ impl Platform {
         nf.transmit(&mut self.net_hub, flow, bytes)
     }
 
+    /// Transmits a batch of aggregates on `flow` from `guest`'s vif: one
+    /// ring operation for all frames, then a single trailing notify to the
+    /// backend carried in one [`Hypercall::Multicall`]. N frames cost one
+    /// ring push and one hypercall boundary crossing instead of N each.
+    /// All-or-nothing: a ring without room for the whole batch queues
+    /// nothing and returns `Full`.
+    pub fn net_transmit_batch(
+        &mut self,
+        guest: DomId,
+        flow: u64,
+        sizes: &[usize],
+    ) -> Result<u64, xoar_devices::ring::RingError> {
+        let h = self
+            .guests
+            .get_mut(&guest)
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let nf = h
+            .netfront
+            .as_mut()
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let first = nf.transmit_many(&mut self.net_hub, flow, sizes)?;
+        let port = nf.conn.front_port;
+        // Best-effort notify, as in real frontends; repeated notifies
+        // coalesce into one pending bit on the backend side.
+        let _ = self.hv.hypercall(
+            guest,
+            Hypercall::Multicall {
+                calls: vec![Hypercall::EvtchnSend { port }],
+            },
+        );
+        Ok(first)
+    }
+
     /// Transmits the page at `guest`'s `pfn` on `flow` as a shared handle:
     /// the body is read out of machine memory once and then moves through
     /// the ring, the backend, and onto the wire by refcount — zero copies.
@@ -965,6 +998,34 @@ impl Platform {
             .as_mut()
             .ok_or(xoar_devices::ring::RingError::NotFound)?;
         bf.submit(&mut self.blk_hub, op, sector, count)
+    }
+
+    /// Submits a batch of block requests from `guest`'s vbd: one ring
+    /// operation for the whole batch, then a single trailing notify in one
+    /// [`Hypercall::Multicall`]. Returns the contiguous correlation IDs.
+    /// All-or-nothing: a ring without room queues nothing (`Full`).
+    pub fn blk_submit_batch(
+        &mut self,
+        guest: DomId,
+        ops: &[(xoar_devices::blk::BlkOp, u64, u64)],
+    ) -> Result<Vec<u64>, xoar_devices::ring::RingError> {
+        let h = self
+            .guests
+            .get_mut(&guest)
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let bf = h
+            .blkfront
+            .as_mut()
+            .ok_or(xoar_devices::ring::RingError::NotFound)?;
+        let ids = bf.submit_batch(&mut self.blk_hub, ops)?;
+        let port = bf.conn.front_port;
+        let _ = self.hv.hypercall(
+            guest,
+            Hypercall::Multicall {
+                calls: vec![Hypercall::EvtchnSend { port }],
+            },
+        );
+        Ok(ids)
     }
 
     /// Polls one block completion for `guest`.

@@ -353,7 +353,7 @@ impl BlkFront {
         BlkFront {
             conn,
             next_id: 1,
-            outstanding: HashMap::new(),
+            outstanding: HashMap::with_capacity(crate::ring::DEFAULT_RING_SLOTS),
         }
     }
 
@@ -381,6 +381,37 @@ impl BlkFront {
     ) -> Result<u64, RingError> {
         let count = (page.len() as u64).div_ceil(SECTOR_SIZE);
         self.submit_with(hub, BlkOp::Write, sector, count, Some(page))
+    }
+
+    /// Submits a batch of requests in one ring operation. All-or-nothing:
+    /// if the ring lacks room for the whole batch, nothing is queued, no
+    /// IDs are consumed, and `RingError::Full` is returned. On success the
+    /// returned IDs are contiguous and in batch order.
+    pub fn submit_batch(
+        &mut self,
+        hub: &mut BlkRingHub,
+        ops: &[(BlkOp, u64, u64)],
+    ) -> Result<Vec<u64>, RingError> {
+        let first = self.next_id;
+        let reqs: Vec<BlkRequest> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, sector, count))| BlkRequest {
+                id: first + i as u64,
+                op,
+                sector,
+                count,
+                payload: None,
+            })
+            .collect();
+        hub.get_mut(self.conn.ring)?.push_requests(reqs.clone())?;
+        self.next_id += ops.len() as u64;
+        let mut ids = Vec::with_capacity(ops.len());
+        for req in reqs {
+            ids.push(req.id);
+            self.outstanding.insert(req.id, req);
+        }
+        Ok(ids)
     }
 
     fn submit_with(
@@ -544,6 +575,35 @@ mod tests {
         bf.submit(&mut hub, BlkOp::Read, 108, 8).unwrap();
         let second = bb.process(&mut hub).service_ns;
         assert!(second < first, "sequential continuation skips the seek");
+    }
+
+    #[test]
+    fn submit_batch_matches_serial_submits() {
+        let (mut bb, mut bf, mut hub) = backend_with_guest();
+        let ids = bf
+            .submit_batch(
+                &mut hub,
+                &[
+                    (BlkOp::Read, 0, 8),
+                    (BlkOp::Write, 8, 8),
+                    (BlkOp::Flush, 0, 0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(bf.outstanding(), 3);
+        // A batch the ring cannot hold leaves state untouched.
+        let big = vec![(BlkOp::Read, 0, 8); crate::ring::DEFAULT_RING_SLOTS];
+        assert_eq!(bf.submit_batch(&mut hub, &big), Err(RingError::Full));
+        assert_eq!(bf.outstanding(), 3);
+        let stats = bb.process(&mut hub);
+        assert_eq!(stats.completed, 3);
+        for want in ids {
+            assert_eq!(bf.poll(&mut hub).unwrap().id, want);
+        }
+        assert_eq!(bf.outstanding(), 0);
+        // IDs continue from where the successful batch left off.
+        assert_eq!(bf.submit(&mut hub, BlkOp::Read, 0, 8).unwrap(), 4);
     }
 
     #[test]

@@ -126,6 +126,10 @@ pub struct NetBack {
     pub nic: NicModel,
     attachments: HashMap<DomId, Connection>,
     lifetime: NetBackStats,
+    /// Scratch queue for rx frames that hit backpressure. Persistent so
+    /// its capacity survives across passes — the rx requeue path never
+    /// allocates in steady state.
+    rx_requeue: VecDeque<(DomId, NetPacket)>,
 }
 
 impl NetBack {
@@ -136,6 +140,7 @@ impl NetBack {
             nic,
             attachments: HashMap::new(),
             lifetime: NetBackStats::default(),
+            rx_requeue: VecDeque::new(),
         }
     }
 
@@ -184,8 +189,9 @@ impl NetBack {
                 let _ = ring.push_response(ack);
             }
         }
-        // RX: wire → guest.
-        let mut undeliverable = VecDeque::new();
+        // RX: wire → guest. Backpressured frames collect in the persistent
+        // scratch queue and are swapped back onto the wire at the end.
+        debug_assert!(self.rx_requeue.is_empty());
         while let Some((guest, pkt)) = wire.inbound.pop_front() {
             let Some(conn) = self.attachments.get(&guest) else {
                 stats.dropped += 1;
@@ -213,12 +219,15 @@ impl NetBack {
             if ring.pending_responses() >= 4 * crate::ring::DEFAULT_RING_SLOTS {
                 stats.rx_frames -= 1;
                 stats.rx_bytes -= pkt.bytes as u64;
-                undeliverable.push_back((guest, pkt));
+                self.rx_requeue.push_back((guest, pkt));
                 continue;
             }
             let _ = ring.push_response(pkt);
         }
-        wire.inbound = undeliverable;
+        // `wire.inbound` is drained here, so the swap leaves the requeued
+        // frames on the wire and keeps the (empty) deque's capacity as next
+        // pass's scratch.
+        std::mem::swap(&mut wire.inbound, &mut self.rx_requeue);
         self.lifetime.tx_frames += stats.tx_frames;
         self.lifetime.tx_bytes += stats.tx_bytes;
         self.lifetime.rx_frames += stats.rx_frames;
@@ -260,6 +269,27 @@ impl NetFront {
             .push_request(NetPacket::meta(flow, seq, bytes))?;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Transmits a batch of aggregates on `flow` in one ring operation.
+    /// All-or-nothing: if the ring lacks room for every frame, nothing is
+    /// queued and `RingError::Full` is returned. Returns the sequence
+    /// number of the first frame; the batch occupies `seq..seq + n`.
+    pub fn transmit_many(
+        &mut self,
+        hub: &mut NetRingHub,
+        flow: u64,
+        sizes: &[usize],
+    ) -> Result<u64, RingError> {
+        let first = self.next_seq;
+        let reqs: Vec<NetPacket> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| NetPacket::meta(flow, first + i as u64, bytes))
+            .collect();
+        hub.get_mut(self.conn.ring)?.push_requests(reqs)?;
+        self.next_seq += sizes.len() as u64;
+        Ok(first)
     }
 
     /// Transmits a page-carrying aggregate on `flow`. The page body moves
@@ -407,6 +437,26 @@ mod tests {
         let got = nf.receive(&mut hub).unwrap();
         assert!(PageRef::ptr_eq(&page, got.payload.as_ref().unwrap()));
         assert_eq!(got.bytes, 2048);
+    }
+
+    #[test]
+    fn transmit_many_is_all_or_nothing_and_numbers_contiguously() {
+        let (mut nb, mut nf, mut hub, mut wire) = setup();
+        let first = nf.transmit_many(&mut hub, 7, &[100, 200, 300]).unwrap();
+        assert_eq!(first, 0);
+        // Overfill: the ring has DEFAULT_RING_SLOTS slots, 3 used.
+        let too_many = vec![64; crate::ring::DEFAULT_RING_SLOTS];
+        assert_eq!(
+            nf.transmit_many(&mut hub, 7, &too_many),
+            Err(RingError::Full)
+        );
+        // Failed batch consumed no sequence numbers.
+        assert_eq!(nf.transmit(&mut hub, 7, 400).unwrap(), 3);
+        let stats = nb.process(&mut hub, &mut wire);
+        assert_eq!(stats.tx_frames, 4);
+        let out = wire.take_outbound();
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
     }
 
     #[test]

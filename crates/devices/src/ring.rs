@@ -68,11 +68,15 @@ pub struct Ring<Req, Resp> {
 
 impl<Req, Resp> Ring<Req, Resp> {
     /// Creates an attached, empty ring with `slots` request slots.
+    ///
+    /// Both queues are preallocated to the slot count — a real ring is a
+    /// fixed shared page — so steady-state push/pop never reallocates.
     pub fn new(slots: usize) -> Self {
+        let slots = slots.max(1);
         Ring {
-            requests: VecDeque::new(),
-            responses: VecDeque::new(),
-            slots: slots.max(1),
+            requests: VecDeque::with_capacity(slots),
+            responses: VecDeque::with_capacity(slots),
+            slots,
             in_flight: 0,
             attached: true,
             req_count: 0,
@@ -126,6 +130,49 @@ impl<Req, Resp> Ring<Req, Resp> {
     /// Frontend: pop the next response.
     pub fn pop_response(&mut self) -> Option<Resp> {
         self.responses.pop_front()
+    }
+
+    /// Frontend: push a whole batch of requests, or none of them.
+    ///
+    /// Validate-then-apply: if the batch exceeds the free slots the ring
+    /// is left untouched and [`RingError::Full`] is returned, so callers
+    /// never have to unpick a half-submitted batch.
+    pub fn push_requests(&mut self, reqs: Vec<Req>) -> Result<usize, RingError> {
+        if !self.attached {
+            return Err(RingError::Detached);
+        }
+        if reqs.len() > self.free_slots() {
+            return Err(RingError::Full);
+        }
+        let n = reqs.len();
+        self.requests.extend(reqs);
+        self.req_count += n as u64;
+        Ok(n)
+    }
+
+    /// Backend: pop every queued request into `out` in one sweep,
+    /// returning how many were appended. All popped slots stay occupied
+    /// until their responses are pushed, as with [`Self::pop_request`].
+    pub fn pop_requests_into(&mut self, out: &mut Vec<Req>) -> usize {
+        if !self.attached {
+            return 0;
+        }
+        let n = self.requests.len();
+        out.extend(self.requests.drain(..));
+        self.in_flight += n;
+        n
+    }
+
+    /// Backend: push a batch of responses, releasing their slots.
+    pub fn push_responses(&mut self, resps: Vec<Resp>) -> Result<usize, RingError> {
+        if !self.attached {
+            return Err(RingError::Detached);
+        }
+        let n = resps.len();
+        self.in_flight = self.in_flight.saturating_sub(n);
+        self.responses.extend(resps);
+        self.resp_count += n as u64;
+        Ok(n)
     }
 
     /// Pending request count.
@@ -292,6 +339,46 @@ mod tests {
         assert_eq!(lost, 2, "one queued + one in flight");
         assert_eq!(ring.push_request(3), Err(RingError::Detached));
         assert!(ring.pop_request().is_none());
+    }
+
+    #[test]
+    fn batch_push_is_all_or_nothing() {
+        let mut ring: Ring<u32, u32> = Ring::new(4);
+        ring.push_request(0).unwrap();
+        // 4 requests into 3 free slots: refused, ring untouched.
+        assert_eq!(ring.push_requests(vec![1, 2, 3, 4]), Err(RingError::Full));
+        assert_eq!(ring.pending_requests(), 1);
+        assert_eq!(ring.push_requests(vec![1, 2, 3]), Ok(3));
+        assert_eq!(ring.pending_requests(), 4);
+        assert_eq!(ring.totals().0, 4);
+    }
+
+    #[test]
+    fn batch_pop_and_respond_round_trip() {
+        let mut ring: Ring<u32, u32> = Ring::new(8);
+        ring.push_requests((0..6).collect()).unwrap();
+        let mut got = Vec::new();
+        assert_eq!(ring.pop_requests_into(&mut got), 6);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(ring.in_flight(), 6);
+        // Slots stay occupied until the responses land.
+        assert_eq!(ring.free_slots(), 2);
+        ring.push_responses(got.iter().map(|r| r * 10).collect())
+            .unwrap();
+        assert_eq!(ring.in_flight(), 0);
+        let resps: Vec<u32> = std::iter::from_fn(|| ring.pop_response()).collect();
+        assert_eq!(resps, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn batch_ops_refuse_detached_ring() {
+        let mut ring: Ring<u32, u32> = Ring::new(4);
+        ring.push_request(1).unwrap();
+        ring.detach();
+        assert_eq!(ring.push_requests(vec![2]), Err(RingError::Detached));
+        let mut out = Vec::new();
+        assert_eq!(ring.pop_requests_into(&mut out), 0);
+        assert_eq!(ring.push_responses(vec![9]), Err(RingError::Detached));
     }
 
     #[test]

@@ -11,8 +11,16 @@
 //! An interdomain channel is established with the classic Xen handshake:
 //! side A allocates an *unbound* port naming B as the permitted remote,
 //! passes the port number out of band, and B binds its own port to it.
+//!
+//! Pending delivery uses Xen's 2-level bitmap ABI rather than an event
+//! queue: each domain keeps one pending *bit* per port plus a selector
+//! layer with one bit per nonzero word. Repeated sends on an
+//! already-pending port therefore coalesce into a single notification
+//! (events are data-free, so nothing is lost), and [`EventChannels::poll`]
+//! / [`EventChannels::drain_pending`] scan only the words the selector
+//! says are live — O(words), not O(sends).
 
-use std::collections::{HashMap, VecDeque};
+use crate::fasthash::FastMap;
 
 use crate::domain::DomId;
 use crate::error::{EventError, HvResult};
@@ -63,11 +71,97 @@ pub struct PendingEvent {
     pub port: u32,
 }
 
+/// Two-level pending bitmap, the in-model analogue of Xen's 2-level
+/// event-channel ABI.
+///
+/// Level 2 is one bit per port (`words[port / 64]`); level 1 is one
+/// selector bit per nonzero level-2 word. A single selector word spans
+/// 64 × 64 = 4096 ports, exactly Xen's 2-level span; because port
+/// *numbers* are never reused (see [`EventChannels::close`]) both layers
+/// grow on demand so long-lived domains that churn past 4096 allocations
+/// keep working.
+#[derive(Debug, Default)]
+struct PendingBitmap {
+    /// Level 2: bit `port % 64` of `words[port / 64]` ⇔ port pending.
+    words: Vec<u64>,
+    /// Level 1: bit `w % 64` of `selectors[w / 64]` ⇔ `words[w] != 0`.
+    selectors: Vec<u64>,
+    /// Cached popcount over `words`.
+    count: usize,
+}
+
+impl PendingBitmap {
+    /// Sets the pending bit for `port`. Returns `true` iff the bit was
+    /// previously clear — i.e. whether this send produced a new
+    /// notification rather than coalescing into an existing one.
+    fn set(&mut self, port: u32) -> bool {
+        let w = (port / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (port % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        let s = w / 64;
+        if s >= self.selectors.len() {
+            self.selectors.resize(s + 1, 0);
+        }
+        self.selectors[s] |= 1u64 << (w % 64);
+        self.count += 1;
+        true
+    }
+
+    /// Clears and returns the lowest pending port, if any.
+    fn take_lowest(&mut self) -> Option<u32> {
+        for (s, sel) in self.selectors.iter_mut().enumerate() {
+            if *sel == 0 {
+                continue;
+            }
+            let w = s * 64 + sel.trailing_zeros() as usize;
+            let word = self.words[w];
+            let b = word.trailing_zeros();
+            self.words[w] = word & (word - 1);
+            if self.words[w] == 0 {
+                *sel &= !(1u64 << (w % 64));
+            }
+            self.count -= 1;
+            return Some(w as u32 * 64 + b);
+        }
+        None
+    }
+
+    /// Drains every pending port in ascending order into `out`,
+    /// returning how many were drained.
+    fn drain_into(&mut self, out: &mut Vec<PendingEvent>) -> usize {
+        let mut drained = 0;
+        for (s, sel) in self.selectors.iter_mut().enumerate() {
+            while *sel != 0 {
+                let w = s * 64 + sel.trailing_zeros() as usize;
+                let mut word = self.words[w];
+                while word != 0 {
+                    let b = word.trailing_zeros();
+                    out.push(PendingEvent {
+                        port: w as u32 * 64 + b,
+                    });
+                    word &= word - 1;
+                    drained += 1;
+                }
+                self.words[w] = 0;
+                *sel &= *sel - 1;
+            }
+        }
+        self.count -= drained;
+        drained
+    }
+}
+
 #[derive(Debug, Default)]
 struct DomainPorts {
-    ports: HashMap<u32, PortState>,
+    ports: FastMap<u32, PortState>,
     next_port: u32,
-    pending: VecDeque<PendingEvent>,
+    pending: PendingBitmap,
     masked: bool,
 }
 
@@ -78,7 +172,7 @@ pub const MAX_PORTS_PER_DOMAIN: u32 = 1024;
 /// The system-wide event-channel switch.
 #[derive(Debug, Default)]
 pub struct EventChannels {
-    domains: HashMap<DomId, DomainPorts>,
+    domains: FastMap<DomId, DomainPorts>,
     /// Count of notifications delivered, for the evaluation harness.
     delivered: u64,
 }
@@ -205,7 +299,10 @@ impl EventChannels {
     /// Sends a notification through `port` of `sender`.
     ///
     /// For interdomain ports the peer's port is marked pending; the data-
-    /// free nature of channels means delivery is just an enqueue.
+    /// free nature of channels means delivery is just a bit set, so a
+    /// send on an already-pending port coalesces (Xen semantics). The
+    /// bit is set even while the receiver is masked — masking defers
+    /// delivery, it does not drop it.
     pub fn send(&mut self, sender: DomId, port: u32) -> HvResult<()> {
         let (remote, remote_port) = {
             let dp = self.domains.get(&sender).ok_or(EventError::BadRemote)?;
@@ -221,8 +318,7 @@ impl EventChannels {
             }
         };
         if let Some(rd) = self.domains.get_mut(&remote) {
-            if !rd.masked {
-                rd.pending.push_back(PendingEvent { port: remote_port });
+            if rd.pending.set(remote_port) {
                 self.delivered += 1;
             }
         }
@@ -230,6 +326,9 @@ impl EventChannels {
     }
 
     /// Hypervisor-side: raise a VIRQ on `dom` if bound.
+    ///
+    /// Returns whether the VIRQ is now pending on some port (a raise on
+    /// an already-pending port coalesces but still reports `true`).
     pub fn raise_virq(&mut self, dom: DomId, virq: VirqKind) -> bool {
         let Some(dp) = self.domains.get_mut(&dom) else {
             return false;
@@ -239,26 +338,52 @@ impl EventChannels {
             _ => None,
         });
         match port {
-            Some(p) if !dp.masked => {
-                dp.pending.push_back(PendingEvent { port: p });
-                self.delivered += 1;
+            Some(p) => {
+                if dp.pending.set(p) {
+                    self.delivered += 1;
+                }
                 true
             }
-            _ => false,
+            None => false,
         }
     }
 
-    /// Dequeues the next pending event for `dom`.
+    /// Dequeues the lowest-numbered pending event for `dom`.
+    ///
+    /// Returns `None` while the domain is masked; the pending bits stay
+    /// set and become visible again on unmask.
     pub fn poll(&mut self, dom: DomId) -> Option<PendingEvent> {
-        self.domains.get_mut(&dom)?.pending.pop_front()
+        let dp = self.domains.get_mut(&dom)?;
+        if dp.masked {
+            return None;
+        }
+        dp.pending.take_lowest().map(|port| PendingEvent { port })
     }
 
-    /// Number of queued events for `dom`.
+    /// Drains every pending event for `dom` (ascending port order) into
+    /// `out`, returning how many were appended. O(nonzero bitmap words).
+    pub fn drain_pending_into(&mut self, dom: DomId, out: &mut Vec<PendingEvent>) -> usize {
+        match self.domains.get_mut(&dom) {
+            Some(dp) if !dp.masked => dp.pending.drain_into(out),
+            _ => 0,
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Self::drain_pending_into`].
+    pub fn drain_pending(&mut self, dom: DomId) -> Vec<PendingEvent> {
+        let mut out = Vec::new();
+        self.drain_pending_into(dom, &mut out);
+        out
+    }
+
+    /// Number of distinct pending ports for `dom`.
     pub fn pending_count(&self, dom: DomId) -> usize {
-        self.domains.get(&dom).map_or(0, |d| d.pending.len())
+        self.domains.get(&dom).map_or(0, |d| d.pending.count)
     }
 
-    /// Masks or unmasks event delivery for `dom`.
+    /// Masks or unmasks event delivery for `dom`. Masking defers
+    /// delivery: sends still set pending bits, but `poll`/`drain_pending`
+    /// return nothing until the domain is unmasked.
     pub fn set_masked(&mut self, dom: DomId, masked: bool) {
         if let Some(d) = self.domains.get_mut(&dom) {
             d.masked = masked;
@@ -299,7 +424,10 @@ impl EventChannels {
         )
     }
 
-    /// Total notifications delivered (evaluation counter).
+    /// Total notifications delivered (evaluation counter). Counts
+    /// clear→pending transitions, so sends coalesced into an
+    /// already-pending port count once — matching what a real guest
+    /// observes as distinct upcalls.
     pub fn delivered_count(&self) -> u64 {
         self.delivered
     }
@@ -389,16 +517,103 @@ mod tests {
     }
 
     #[test]
-    fn masked_domain_drops_events() {
+    fn masked_domain_defers_events() {
         let (mut ev, a, b) = two_domains();
         let pa = ev.alloc_unbound(a, b).unwrap();
-        ev.bind_interdomain(b, a, pa).unwrap();
+        let pb = ev.bind_interdomain(b, a, pa).unwrap();
         ev.set_masked(b, true);
         ev.send(a, pa).unwrap();
-        assert_eq!(ev.pending_count(b), 0);
-        ev.set_masked(b, false);
-        ev.send(a, pa).unwrap();
+        // Masking defers: the bit is set but invisible to poll.
         assert_eq!(ev.pending_count(b), 1);
+        assert!(ev.poll(b).is_none());
+        assert!(ev.drain_pending(b).is_empty());
+        ev.set_masked(b, false);
+        assert_eq!(ev.poll(b).unwrap().port, pb);
+        assert!(ev.poll(b).is_none());
+    }
+
+    #[test]
+    fn repeated_sends_coalesce() {
+        let (mut ev, a, b) = two_domains();
+        let pa = ev.alloc_unbound(a, b).unwrap();
+        let pb = ev.bind_interdomain(b, a, pa).unwrap();
+        for _ in 0..5 {
+            ev.send(a, pa).unwrap();
+        }
+        assert_eq!(ev.pending_count(b), 1);
+        assert_eq!(ev.delivered_count(), 1);
+        assert_eq!(ev.poll(b).unwrap().port, pb);
+        assert!(ev.poll(b).is_none());
+        // Once consumed, the next send is a fresh notification.
+        ev.send(a, pa).unwrap();
+        assert_eq!(ev.delivered_count(), 2);
+        assert_eq!(ev.poll(b).unwrap().port, pb);
+    }
+
+    #[test]
+    fn repeated_virq_raises_coalesce() {
+        let (mut ev, a, _) = two_domains();
+        let p = ev.bind_virq(a, VirqKind::Timer).unwrap();
+        assert!(ev.raise_virq(a, VirqKind::Timer));
+        assert!(
+            ev.raise_virq(a, VirqKind::Timer),
+            "coalesced raise still reported"
+        );
+        assert_eq!(ev.pending_count(a), 1);
+        assert_eq!(ev.delivered_count(), 1);
+        assert_eq!(ev.poll(a).unwrap().port, p);
+    }
+
+    #[test]
+    fn poll_returns_lowest_port_first() {
+        let (mut ev, a, b) = two_domains();
+        let pa1 = ev.alloc_unbound(a, b).unwrap();
+        let pb1 = ev.bind_interdomain(b, a, pa1).unwrap();
+        let pa2 = ev.alloc_unbound(a, b).unwrap();
+        let pb2 = ev.bind_interdomain(b, a, pa2).unwrap();
+        assert!(pb1 < pb2);
+        ev.send(a, pa2).unwrap();
+        ev.send(a, pa1).unwrap();
+        assert_eq!(ev.poll(b).unwrap().port, pb1);
+        assert_eq!(ev.poll(b).unwrap().port, pb2);
+    }
+
+    #[test]
+    fn drain_pending_returns_all_in_port_order() {
+        let (mut ev, a, b) = two_domains();
+        let mut peer_ports = Vec::new();
+        for _ in 0..3 {
+            let pa = ev.alloc_unbound(a, b).unwrap();
+            peer_ports.push((pa, ev.bind_interdomain(b, a, pa).unwrap()));
+        }
+        // Send in reverse, with a duplicate thrown in.
+        for &(pa, _) in peer_ports.iter().rev() {
+            ev.send(a, pa).unwrap();
+        }
+        ev.send(a, peer_ports[1].0).unwrap();
+        let drained = ev.drain_pending(b);
+        let expected: Vec<u32> = peer_ports.iter().map(|&(_, pb)| pb).collect();
+        let got: Vec<u32> = drained.iter().map(|e| e.port).collect();
+        assert_eq!(got, expected);
+        assert_eq!(ev.pending_count(b), 0);
+        assert!(ev.drain_pending(b).is_empty());
+    }
+
+    #[test]
+    fn bitmap_survives_port_number_growth() {
+        // Port numbers are never reused, so a long-lived domain can push
+        // its port numbers past the 4096 a single selector word spans;
+        // the bitmap layers must grow with it.
+        let (mut ev, a, b) = two_domains();
+        for _ in 0..5000 {
+            let pa = ev.alloc_unbound(a, b).unwrap();
+            ev.close(a, pa).unwrap();
+        }
+        let pa = ev.alloc_unbound(a, b).unwrap();
+        let pb = ev.bind_interdomain(b, a, pa).unwrap();
+        assert!(pa >= 5000);
+        ev.send(b, pb).unwrap();
+        assert_eq!(ev.poll(a).unwrap().port, pa);
     }
 
     #[test]
@@ -462,27 +677,74 @@ mod proptests {
     use super::*;
     use xoar_sim::prop::Runner;
 
-    /// Every event sent while unmasked is delivered exactly once, in
-    /// FIFO order.
+    /// Every *signalled port* is delivered exactly once no matter how
+    /// many sends hit it: repeated sends on a pending port coalesce
+    /// (Xen bitmap semantics), so what poll yields is the set of
+    /// distinct signalled ports, in ascending port order.
     #[test]
-    fn delivery_is_exactly_once() {
-        Runner::cases(64).run("delivery is exactly once", |g| {
-            let n = g.usize(1..100);
+    fn signalled_ports_delivered_exactly_once() {
+        Runner::cases(64).run("signalled ports delivered exactly once", |g| {
+            let channels = g.usize(1..8);
+            let sends = g.usize(1..100);
             let mut ev = EventChannels::new();
             let (a, b) = (DomId(1), DomId(2));
             ev.register_domain(a);
             ev.register_domain(b);
-            let pa = ev.alloc_unbound(a, b).unwrap();
-            let pb = ev.bind_interdomain(b, a, pa).unwrap();
-            for _ in 0..n {
+            let mut pairs = Vec::new();
+            for _ in 0..channels {
+                let pa = ev.alloc_unbound(a, b).unwrap();
+                let pb = ev.bind_interdomain(b, a, pa).unwrap();
+                pairs.push((pa, pb));
+            }
+            let mut signalled = std::collections::BTreeSet::new();
+            for _ in 0..sends {
+                let (pa, pb) = pairs[g.usize(0..pairs.len())];
                 ev.send(a, pa).unwrap();
+                signalled.insert(pb);
             }
-            let mut received = 0;
+            assert_eq!(ev.pending_count(b), signalled.len());
+            let mut received = Vec::new();
             while let Some(e) = ev.poll(b) {
-                assert_eq!(e.port, pb);
-                received += 1;
+                received.push(e.port);
             }
-            assert_eq!(received, n);
+            let expected: Vec<u32> = signalled.into_iter().collect();
+            assert_eq!(received, expected);
+            assert_eq!(ev.delivered_count(), expected.len() as u64);
+        });
+    }
+
+    /// drain_pending is equivalent to polling until empty.
+    #[test]
+    fn drain_equals_poll_until_empty() {
+        Runner::cases(64).run("drain equals poll until empty", |g| {
+            let channels = g.usize(1..6);
+            let sends = g.usize(0..40);
+            let mk = || {
+                let mut ev = EventChannels::new();
+                let (a, b) = (DomId(1), DomId(2));
+                ev.register_domain(a);
+                ev.register_domain(b);
+                let mut ports = Vec::new();
+                for _ in 0..channels {
+                    let pa = ev.alloc_unbound(a, b).unwrap();
+                    ev.bind_interdomain(b, a, pa).unwrap();
+                    ports.push(pa);
+                }
+                (ev, a, b, ports)
+            };
+            let (mut ev1, a1, b1, ports1) = mk();
+            let (mut ev2, _, b2, _) = mk();
+            for _ in 0..sends {
+                let i = g.usize(0..ports1.len());
+                ev1.send(a1, ports1[i]).unwrap();
+                ev2.send(a1, ports1[i]).unwrap();
+            }
+            let drained: Vec<u32> = ev1.drain_pending(b1).iter().map(|e| e.port).collect();
+            let mut polled = Vec::new();
+            while let Some(e) = ev2.poll(b2) {
+                polled.push(e.port);
+            }
+            assert_eq!(drained, polled);
         });
     }
 

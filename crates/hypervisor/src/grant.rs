@@ -10,10 +10,10 @@
 //! mapping, and the mechanism Xoar uses (§5.6) to deprivilege XenStore and
 //! the Console Manager.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 use crate::domain::DomId;
-use crate::error::{GrantError, HvResult};
+use crate::error::{GrantError, HvResult, MemError};
 use crate::memory::{Mfn, Pfn};
 
 /// A grant reference: an index into the granting domain's table.
@@ -39,6 +39,68 @@ xoar_codec::impl_json_enum!(GrantAccess {
     Transfer,
 });
 
+/// Direction of one entry in a batched grant copy (GNTTABOP_copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantCopyDir {
+    /// Copy the granted page into the caller's local frame.
+    FromGrant,
+    /// Copy the caller's local frame into the granted page.
+    ToGrant,
+}
+
+xoar_codec::impl_json_enum!(GrantCopyDir { FromGrant, ToGrant });
+
+/// One entry of a batched hypervisor-mediated page copy.
+///
+/// Copies move whole pages (the model is page-granular): `gref` names
+/// the remote end in the granter's table, `local_pfn` the caller-local
+/// frame on the other side of the copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantCopyOp {
+    /// Grant reference in the granting domain's table.
+    pub gref: GrantRef,
+    /// Which way the bytes flow.
+    pub dir: GrantCopyDir,
+    /// The caller's local frame.
+    pub local_pfn: Pfn,
+}
+
+xoar_codec::impl_json_struct!(GrantCopyOp {
+    gref,
+    dir,
+    local_pfn,
+});
+
+/// Compact per-entry status of one op in a grant batch, the analogue of
+/// Xen's `GNTST_*` codes in GNTTABOP result arrays. Deliberately flat
+/// and `Copy` (no strings, no heap): a 32-entry batch materialises its
+/// status array for a few nanoseconds per entry, which is the whole
+/// point of batching the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantOpStatus {
+    /// The op succeeded; the machine frame it resolved to.
+    Done(Mfn),
+    /// Grant-table fault (bad ref, wrong grantee, access mode…).
+    Grant(GrantError),
+    /// Memory fault (bad local frame in a copy, out of frames…).
+    Memory(MemError),
+}
+
+impl GrantOpStatus {
+    /// Whether the entry succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, GrantOpStatus::Done(_))
+    }
+
+    /// The resolved frame of a successful entry.
+    pub fn mfn(&self) -> Option<Mfn> {
+        match self {
+            GrantOpStatus::Done(mfn) => Some(*mfn),
+            _ => None,
+        }
+    }
+}
+
 /// One entry in a grant table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrantEntry {
@@ -55,13 +117,21 @@ pub struct GrantEntry {
 }
 
 /// A single domain's grant table.
+///
+/// Entries live in a dense array indexed by grant ref, exactly like
+/// Xen's grant-table frames: refs are allocated monotonically, so
+/// `entries[r]` is the entry for ref `r` (`None` once revoked). The
+/// batched map/unmap path indexes this array once per op with no
+/// hashing.
 #[derive(Debug, Default)]
 pub struct GrantTable {
-    entries: HashMap<u32, GrantEntry>,
+    entries: Vec<Option<GrantEntry>>,
+    /// Number of live (non-`None`) entries; bounded by `capacity`.
+    live: u32,
     /// Secondary index: grantee → sorted refs of live entries naming it.
     /// Maintained by grant/transfer/revoke so [`GrantTable::granted_to`]
     /// (the per-backend audit query) never scans the whole table.
-    by_grantee: HashMap<DomId, Vec<u32>>,
+    by_grantee: FastMap<DomId, Vec<u32>>,
     next_ref: u32,
     capacity: u32,
 }
@@ -75,8 +145,9 @@ impl GrantTable {
     /// Creates an empty table with the default capacity.
     pub fn new() -> Self {
         GrantTable {
-            entries: HashMap::new(),
-            by_grantee: HashMap::new(),
+            entries: Vec::new(),
+            live: 0,
+            by_grantee: FastMap::default(),
             next_ref: 0,
             capacity: DEFAULT_GRANT_CAPACITY,
         }
@@ -85,11 +156,20 @@ impl GrantTable {
     /// Creates a table with an explicit capacity (tests, quota experiments).
     pub fn with_capacity(capacity: u32) -> Self {
         GrantTable {
-            entries: HashMap::new(),
-            by_grantee: HashMap::new(),
+            entries: Vec::new(),
+            live: 0,
+            by_grantee: FastMap::default(),
             next_ref: 0,
             capacity,
         }
+    }
+
+    #[inline]
+    fn slot(&self, gref: GrantRef) -> HvResult<&GrantEntry> {
+        self.entries
+            .get(gref.0 as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| GrantError::BadRef(gref.0).into())
     }
 
     /// Installs a new entry granting `grantee` access to (`pfn`, `mfn`).
@@ -100,21 +180,20 @@ impl GrantTable {
         mfn: Mfn,
         access: GrantAccess,
     ) -> HvResult<GrantRef> {
-        if self.entries.len() as u32 >= self.capacity {
+        if self.live >= self.capacity {
             return Err(GrantError::TableFull.into());
         }
         let gref = GrantRef(self.next_ref);
         self.next_ref += 1;
-        self.entries.insert(
-            gref.0,
-            GrantEntry {
-                grantee,
-                pfn,
-                mfn,
-                access,
-                map_count: 0,
-            },
-        );
+        debug_assert_eq!(gref.0 as usize, self.entries.len());
+        self.entries.push(Some(GrantEntry {
+            grantee,
+            pfn,
+            mfn,
+            access,
+            map_count: 0,
+        }));
+        self.live += 1;
         self.index_add(grantee, gref.0);
         Ok(gref)
     }
@@ -125,16 +204,28 @@ impl GrantTable {
     /// as capabilities and are passed to other VMs, whose use of them is
     /// audited against the grant table by the hypervisor".
     pub fn map(&mut self, caller: DomId, gref: GrantRef) -> HvResult<(Mfn, GrantAccess)> {
+        self.map_compact(caller, gref).map_err(Into::into)
+    }
+
+    /// [`Self::map`] with a compact error — the batched path's per-entry
+    /// core, which never materialises an [`crate::error::HvError`].
+    #[inline]
+    pub(crate) fn map_compact(
+        &mut self,
+        caller: DomId,
+        gref: GrantRef,
+    ) -> Result<(Mfn, GrantAccess), GrantError> {
         let entry = self
             .entries
-            .get_mut(&gref.0)
+            .get_mut(gref.0 as usize)
+            .and_then(|s| s.as_mut())
             .ok_or(GrantError::BadRef(gref.0))?;
         if entry.grantee != caller {
-            return Err(GrantError::AccessDenied.into());
+            return Err(GrantError::AccessDenied);
         }
         if entry.access == GrantAccess::Transfer {
             // Transfer grants are accepted, not mapped.
-            return Err(GrantError::NotGranted.into());
+            return Err(GrantError::NotGranted);
         }
         entry.map_count += 1;
         Ok((entry.mfn, entry.access))
@@ -142,18 +233,83 @@ impl GrantTable {
 
     /// Releases one mapping by `caller`.
     pub fn unmap(&mut self, caller: DomId, gref: GrantRef) -> HvResult<Mfn> {
+        self.unmap_compact(caller, gref).map_err(Into::into)
+    }
+
+    /// [`Self::unmap`] with a compact error (batched path core).
+    #[inline]
+    pub(crate) fn unmap_compact(
+        &mut self,
+        caller: DomId,
+        gref: GrantRef,
+    ) -> Result<Mfn, GrantError> {
         let entry = self
             .entries
-            .get_mut(&gref.0)
+            .get_mut(gref.0 as usize)
+            .and_then(|s| s.as_mut())
             .ok_or(GrantError::BadRef(gref.0))?;
         if entry.grantee != caller {
-            return Err(GrantError::AccessDenied.into());
+            return Err(GrantError::AccessDenied);
         }
         if entry.map_count == 0 {
-            return Err(GrantError::NotMapped.into());
+            return Err(GrantError::NotMapped);
         }
         entry.map_count -= 1;
         Ok(entry.mfn)
+    }
+
+    /// Batched [`GrantTable::map`] (GNTTABOP-style): validates and
+    /// applies an array of map attempts by `caller` against this one
+    /// table, producing a per-entry status vector. A bad entry never
+    /// aborts the batch — Xen semantics — and the caller amortises the
+    /// per-domain-pair table lookup across the whole array.
+    pub fn grant_map_batch(&mut self, caller: DomId, refs: &[GrantRef]) -> Vec<GrantOpStatus> {
+        refs.iter()
+            .map(|&gref| match self.map_compact(caller, gref) {
+                Ok((mfn, _access)) => GrantOpStatus::Done(mfn),
+                Err(e) => GrantOpStatus::Grant(e),
+            })
+            .collect()
+    }
+
+    /// Batched [`GrantTable::unmap`], mirroring [`Self::grant_map_batch`].
+    pub fn grant_unmap_batch(&mut self, caller: DomId, refs: &[GrantRef]) -> Vec<GrantOpStatus> {
+        refs.iter()
+            .map(|&gref| match self.unmap_compact(caller, gref) {
+                Ok(mfn) => GrantOpStatus::Done(mfn),
+                Err(e) => GrantOpStatus::Grant(e),
+            })
+            .collect()
+    }
+
+    /// Batched GNTTABOP_copy validation: audits each op against the
+    /// table (right grantee, not a transfer entry, writable for
+    /// [`GrantCopyDir::ToGrant`]) and resolves the granted frame. The
+    /// byte copy itself is the hypervisor's job — it owns machine
+    /// memory — so this returns the resolved `(Mfn, op)` pairs.
+    /// Copies leave no mapping behind: `map_count` is untouched.
+    pub fn grant_copy_batch(
+        &mut self,
+        caller: DomId,
+        ops: &[GrantCopyOp],
+    ) -> Vec<Result<(Mfn, GrantCopyOp), GrantError>> {
+        ops.iter()
+            .map(|&op| {
+                let entry = self
+                    .entries
+                    .get(op.gref.0 as usize)
+                    .and_then(|s| s.as_ref())
+                    .ok_or(GrantError::BadRef(op.gref.0))?;
+                if entry.grantee != caller {
+                    return Err(GrantError::AccessDenied);
+                }
+                match (entry.access, op.dir) {
+                    (GrantAccess::Transfer, _) => Err(GrantError::NotGranted),
+                    (GrantAccess::ReadOnly, GrantCopyDir::ToGrant) => Err(GrantError::AccessDenied),
+                    _ => Ok((entry.mfn, op)),
+                }
+            })
+            .collect()
     }
 
     /// Installs a *transfer* grant: an offer to give the page away
@@ -161,21 +317,20 @@ impl GrantTable {
     /// netfront/netback page-flipping). The grantee accepts with
     /// [`GrantTable::accept_transfer`], after which the entry is spent.
     pub fn grant_transfer(&mut self, grantee: DomId, pfn: Pfn, mfn: Mfn) -> HvResult<GrantRef> {
-        if self.entries.len() as u32 >= self.capacity {
+        if self.live >= self.capacity {
             return Err(GrantError::TableFull.into());
         }
         let gref = GrantRef(self.next_ref);
         self.next_ref += 1;
-        self.entries.insert(
-            gref.0,
-            GrantEntry {
-                grantee,
-                pfn,
-                mfn,
-                access: GrantAccess::Transfer,
-                map_count: 0,
-            },
-        );
+        debug_assert_eq!(gref.0 as usize, self.entries.len());
+        self.entries.push(Some(GrantEntry {
+            grantee,
+            pfn,
+            mfn,
+            access: GrantAccess::Transfer,
+            map_count: 0,
+        }));
+        self.live += 1;
         self.index_add(grantee, gref.0);
         Ok(gref)
     }
@@ -184,69 +339,62 @@ impl GrantTable {
     /// transferred frame. The caller (the hypervisor) is responsible for
     /// re-pointing page ownership.
     pub fn accept_transfer(&mut self, caller: DomId, gref: GrantRef) -> HvResult<(Pfn, Mfn)> {
-        let entry = self
-            .entries
-            .get(&gref.0)
-            .ok_or(GrantError::BadRef(gref.0))?;
+        let entry = self.slot(gref)?;
         if entry.grantee != caller {
             return Err(GrantError::AccessDenied.into());
         }
         if entry.access != GrantAccess::Transfer {
             return Err(GrantError::NotGranted.into());
         }
-        let entry = self
-            .entries
-            .remove(&gref.0)
+        let entry = self.entries[gref.0 as usize]
+            .take()
             .ok_or(GrantError::BadRef(gref.0))?;
+        self.live -= 1;
         self.index_remove(entry.grantee, gref.0);
         Ok((entry.pfn, entry.mfn))
     }
 
     /// Revokes an entry. Fails with [`GrantError::InUse`] while mapped.
     pub fn end_access(&mut self, gref: GrantRef) -> HvResult<()> {
-        let entry = self
-            .entries
-            .get(&gref.0)
-            .ok_or(GrantError::BadRef(gref.0))?;
+        let entry = self.slot(gref)?;
         if entry.map_count > 0 {
             return Err(GrantError::InUse.into());
         }
         let grantee = entry.grantee;
-        self.entries.remove(&gref.0);
+        self.entries[gref.0 as usize] = None;
+        self.live -= 1;
         self.index_remove(grantee, gref.0);
         Ok(())
     }
 
     /// Looks up an entry without mapping it.
     pub fn entry(&self, gref: GrantRef) -> Option<&GrantEntry> {
-        self.entries.get(&gref.0)
+        self.entries.get(gref.0 as usize).and_then(|s| s.as_ref())
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live as usize
     }
 
     /// Whether the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Total active mappings across all entries.
     pub fn active_mappings(&self) -> u32 {
-        self.entries.values().map(|e| e.map_count).sum()
+        self.entries.iter().flatten().map(|e| e.map_count).sum()
     }
 
     /// All live entries in ascending ref order (audit/analysis surface;
-    /// sorted so downstream reports are deterministic).
+    /// the dense array is already in ref order).
     pub fn entries_sorted(&self) -> Vec<(GrantRef, &GrantEntry)> {
-        let mut out: Vec<(GrantRef, &GrantEntry)> = self
-            .entries
+        self.entries
             .iter()
-            .map(|(&r, e)| (GrantRef(r), e))
-            .collect();
-        out.sort_by_key(|(r, _)| r.0);
-        out
+            .enumerate()
+            .filter_map(|(r, s)| s.as_ref().map(|e| (GrantRef(r as u32), e)))
+            .collect()
     }
 
     /// Entries granted to a specific domain (for audit). Served from the
@@ -258,7 +406,12 @@ impl GrantTable {
             return Vec::new();
         };
         refs.iter()
-            .filter_map(|&r| self.entries.get(&r).map(|e| (GrantRef(r), e)))
+            .filter_map(|&r| {
+                self.entries
+                    .get(r as usize)
+                    .and_then(|s| s.as_ref())
+                    .map(|e| (GrantRef(r), e))
+            })
             .collect()
     }
 
@@ -413,6 +566,60 @@ mod tests {
             via_scan.sort_unstable();
             assert_eq!(via_index, via_scan, "index diverged for {d:?}");
         }
+    }
+
+    #[test]
+    fn map_batch_reports_per_entry_status() {
+        let mut t = table();
+        let good = t
+            .grant(DomId(2), Pfn(0), Mfn(0x10), GrantAccess::ReadWrite)
+            .unwrap();
+        let foreign = t
+            .grant(DomId(3), Pfn(1), Mfn(0x11), GrantAccess::ReadWrite)
+            .unwrap();
+        let results = t.grant_map_batch(DomId(2), &[good, foreign, GrantRef(99)]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], GrantOpStatus::Done(Mfn(0x10)));
+        assert_eq!(results[1], GrantOpStatus::Grant(GrantError::AccessDenied));
+        assert_eq!(results[2], GrantOpStatus::Grant(GrantError::BadRef(99)));
+        // The bad entries did not abort the good one.
+        assert_eq!(t.active_mappings(), 1);
+        let un = t.grant_unmap_batch(DomId(2), &[good, foreign]);
+        assert_eq!(un[0], GrantOpStatus::Done(Mfn(0x10)));
+        assert!(!un[1].is_ok());
+        assert_eq!(t.active_mappings(), 0);
+    }
+
+    #[test]
+    fn copy_batch_validates_direction_against_access() {
+        let mut t = table();
+        let ro = t
+            .grant(DomId(2), Pfn(0), Mfn(0x20), GrantAccess::ReadOnly)
+            .unwrap();
+        let rw = t
+            .grant(DomId(2), Pfn(1), Mfn(0x21), GrantAccess::ReadWrite)
+            .unwrap();
+        let xfer = t.grant_transfer(DomId(2), Pfn(2), Mfn(0x22)).unwrap();
+        let op = |gref, dir| GrantCopyOp {
+            gref,
+            dir,
+            local_pfn: Pfn(9),
+        };
+        let results = t.grant_copy_batch(
+            DomId(2),
+            &[
+                op(ro, GrantCopyDir::FromGrant),
+                op(ro, GrantCopyDir::ToGrant),
+                op(rw, GrantCopyDir::ToGrant),
+                op(xfer, GrantCopyDir::FromGrant),
+            ],
+        );
+        assert!(matches!(results[0], Ok((Mfn(0x20), _))));
+        assert_eq!(results[1], Err(GrantError::AccessDenied));
+        assert!(matches!(results[2], Ok((Mfn(0x21), _))));
+        assert_eq!(results[3], Err(GrantError::NotGranted));
+        // Copies leave no mappings behind.
+        assert_eq!(t.active_mappings(), 0);
     }
 
     #[test]

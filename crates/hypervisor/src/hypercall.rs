@@ -12,8 +12,9 @@
 //! [`crate::hypervisor::Hypervisor::hypercall`].
 
 use crate::domain::DomId;
+use crate::error::HvResult;
 use crate::event::VirqKind;
-use crate::grant::{GrantAccess, GrantRef};
+use crate::grant::{GrantAccess, GrantCopyOp, GrantOpStatus, GrantRef};
 use crate::memory::{Mfn, Pfn};
 use crate::privilege::{IoPortRange, MmioRange, PciAddress};
 
@@ -98,6 +99,13 @@ pub enum HypercallId {
     SysctlPhysinfo,
     /// Reboot or power off the host.
     PlatformReboot,
+
+    // -- Unprivileged, appended after the initial ABI to keep existing
+    //    whitelist bit positions stable --
+    /// Batch of sub-calls executed with one boundary crossing
+    /// (`__HYPERVISOR_multicall`). Each sub-call is still screened
+    /// against the caller's whitelist individually.
+    Multicall,
 }
 
 xoar_codec::impl_json_enum!(HypercallId {
@@ -134,10 +142,11 @@ xoar_codec::impl_json_enum!(HypercallId {
     VmRollback,
     SysctlPhysinfo,
     PlatformReboot,
+    Multicall,
 });
 
 /// Number of defined hypercall IDs — the width of the whitelist bitset.
-pub const HYPERCALL_COUNT: usize = 33;
+pub const HYPERCALL_COUNT: usize = 34;
 
 impl HypercallId {
     /// Every ID in declaration (= `Ord`) order. The whitelist bitset
@@ -177,6 +186,7 @@ impl HypercallId {
         HypercallId::VmRollback,
         HypercallId::SysctlPhysinfo,
         HypercallId::PlatformReboot,
+        HypercallId::Multicall,
     ];
 
     /// Dense index of this ID (declaration order) — the bit position in
@@ -202,6 +212,7 @@ impl HypercallId {
                 | MmuUpdateSelf
                 | VmSnapshot
                 | GnttabMapGrantRef
+                | Multicall
         )
     }
 
@@ -249,6 +260,7 @@ impl HypercallId {
             XenVersion,
             MmuUpdateSelf,
             VmSnapshot,
+            Multicall,
         ]
     }
 
@@ -310,6 +322,7 @@ impl HypercallId {
             VmRollback => "vm.rollback",
             SysctlPhysinfo => "sysctl.physinfo",
             PlatformReboot => "platform.reboot",
+            Multicall => "multicall",
         }
     }
 }
@@ -391,6 +404,33 @@ pub enum Hypercall {
         granter: DomId,
         /// Grant reference.
         gref: GrantRef,
+    },
+    /// Map an array of grants from one granter with a single table
+    /// lookup (GNTTABOP batch). Per-entry status; no partial abort.
+    ///
+    /// The op array is carried as a shared slice handle — the model's
+    /// analogue of Xen's guest-handle *pointer* to an array in guest
+    /// memory: re-issuing a batch clones a refcount, not the array.
+    GnttabMapBatch {
+        /// Granting domain (one table lookup per batch).
+        granter: DomId,
+        /// Grant references to map, in order.
+        refs: std::rc::Rc<[GrantRef]>,
+    },
+    /// Unmap an array of grants from one granter.
+    GnttabUnmapBatch {
+        /// Granting domain.
+        granter: DomId,
+        /// Grant references to unmap, in order.
+        refs: std::rc::Rc<[GrantRef]>,
+    },
+    /// Hypervisor-mediated page copies through grants (GNTTABOP_copy):
+    /// moves data without leaving a mapping behind.
+    GnttabCopyBatch {
+        /// Granting domain.
+        granter: DomId,
+        /// Copy descriptors, in order.
+        ops: std::rc::Rc<[GrantCopyOp]>,
     },
     /// Builder-only: install a grant entry in *another* domain's table so
     /// deprivileged services (XenStore, console) can be reached without
@@ -539,6 +579,16 @@ pub enum Hypercall {
         /// Bytes to emit.
         data: Vec<u8>,
     },
+    /// A vector of sub-calls executed back-to-back with a single
+    /// boundary crossing. The caller lookup and liveness screen happen
+    /// once; each sub-call is then checked against the caller's
+    /// whitelist and executed, yielding per-entry results (Xen
+    /// semantics: a failed entry never aborts the rest). Nested
+    /// multicalls are rejected.
+    Multicall {
+        /// Sub-calls, executed in order.
+        calls: Vec<Hypercall>,
+    },
 }
 
 impl Hypercall {
@@ -556,6 +606,9 @@ impl Hypercall {
             }
             GnttabAcceptTransfer { .. } => HypercallId::GnttabMapGrantRef,
             GnttabMapGrantRef { .. } | GnttabUnmapGrantRef { .. } => HypercallId::GnttabMapGrantRef,
+            GnttabMapBatch { .. } | GnttabUnmapBatch { .. } | GnttabCopyBatch { .. } => {
+                HypercallId::GnttabMapGrantRef
+            }
             GnttabForeignSetup { .. } => HypercallId::GnttabForeignSetup,
             DomctlCreateDomain { .. } => HypercallId::DomctlCreateDomain,
             DomctlDestroyDomain { .. } => HypercallId::DomctlDestroyDomain,
@@ -579,6 +632,7 @@ impl Hypercall {
             SysctlPhysinfo => HypercallId::SysctlPhysinfo,
             SchedYield => HypercallId::SchedOp,
             ConsoleWrite { .. } => HypercallId::ConsoleIo,
+            Multicall { .. } => HypercallId::Multicall,
         }
     }
 }
@@ -609,6 +663,12 @@ pub enum HypercallRet {
         /// Number of physical CPUs.
         cpus: u32,
     },
+    /// Per-entry results of a [`Hypercall::Multicall`], in sub-call
+    /// order. Entries fail independently (no partial abort).
+    Multi(Vec<HvResult<HypercallRet>>),
+    /// Compact per-entry statuses of a batched grant operation
+    /// (GNTTABOP-style `GNTST_*` array): `Copy`, no heap per entry.
+    GrantBatch(Vec<GrantOpStatus>),
 }
 
 impl HypercallRet {
@@ -657,6 +717,30 @@ impl HypercallRet {
         match self {
             HypercallRet::DomId(d) => d,
             other => panic!("expected DomId, got {other:?}"),
+        }
+    }
+
+    /// Extracts the per-entry results of a multicall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the return value is not [`HypercallRet::Multi`].
+    pub fn multi(self) -> Vec<HvResult<HypercallRet>> {
+        match self {
+            HypercallRet::Multi(v) => v,
+            other => panic!("expected Multi, got {other:?}"),
+        }
+    }
+
+    /// Extracts the per-entry statuses of a batched grant operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the return value is not [`HypercallRet::GrantBatch`].
+    pub fn grant_batch(self) -> Vec<GrantOpStatus> {
+        match self {
+            HypercallRet::GrantBatch(v) => v,
+            other => panic!("expected GrantBatch, got {other:?}"),
         }
     }
 }
@@ -725,5 +809,19 @@ mod tests {
     #[should_panic(expected = "expected Port")]
     fn ret_extractors_panic_on_mismatch() {
         HypercallRet::Ok.port();
+    }
+
+    #[test]
+    fn multicall_is_unprivileged_and_batches_map_to_gnttab() {
+        let mc = Hypercall::Multicall {
+            calls: vec![Hypercall::SchedYield, Hypercall::VmSnapshot],
+        };
+        assert_eq!(mc.id(), HypercallId::Multicall);
+        assert!(!mc.id().is_privileged());
+        let batch = Hypercall::GnttabMapBatch {
+            granter: DomId(1),
+            refs: vec![GrantRef(0)].into(),
+        };
+        assert_eq!(batch.id(), HypercallId::GnttabMapGrantRef);
     }
 }

@@ -19,10 +19,12 @@
 
 use std::collections::HashMap;
 
+use crate::fasthash::FastMap;
+
 use crate::domain::{DomId, Domain, DomainRole, DomainState};
-use crate::error::{HvError, HvResult};
+use crate::error::{HvError, HvResult, MemError};
 use crate::event::{EventChannels, VirqKind};
-use crate::grant::{GrantAccess, GrantRef, GrantTable};
+use crate::grant::{GrantAccess, GrantCopyDir, GrantCopyOp, GrantOpStatus, GrantRef, GrantTable};
 use crate::hypercall::{Hypercall, HypercallId, HypercallRet};
 use crate::memory::{MemoryManager, Pfn};
 use crate::privilege::PrivilegeSet;
@@ -67,7 +69,7 @@ pub const FRAMES_PER_MIB: u64 = 256;
 /// The machine monitor.
 pub struct Hypervisor {
     config: HostConfig,
-    domains: HashMap<DomId, Domain>,
+    domains: FastMap<DomId, Domain>,
     next_domid: u32,
     /// Machine memory manager.
     pub mem: MemoryManager,
@@ -75,7 +77,7 @@ pub struct Hypervisor {
     pub events: EventChannels,
     /// Credit scheduler.
     pub sched: CreditScheduler,
-    grants: HashMap<DomId, GrantTable>,
+    grants: FastMap<DomId, GrantTable>,
     snapshots: SnapshotManager,
     /// Per-domain console output rings (drained by the console service).
     consoles: HashMap<DomId, Vec<u8>>,
@@ -93,12 +95,12 @@ impl Hypervisor {
     pub fn new(config: HostConfig) -> Self {
         Hypervisor {
             config,
-            domains: HashMap::new(),
+            domains: FastMap::default(),
             next_domid: 0,
             mem: MemoryManager::new(config.memory_mib * FRAMES_PER_MIB),
             events: EventChannels::new(),
             sched: CreditScheduler::new(config.cpus),
-            grants: HashMap::new(),
+            grants: FastMap::default(),
             snapshots: SnapshotManager::new(),
             consoles: HashMap::new(),
             now_ns: 0,
@@ -404,6 +406,9 @@ impl Hypervisor {
                 self.mem.dec_grant_mapping(mfn)?;
                 Ok(HypercallRet::Ok)
             }
+            GnttabMapBatch { granter, refs } => self.gnttab_map_batch(caller, granter, &refs),
+            GnttabUnmapBatch { granter, refs } => self.gnttab_unmap_batch(caller, granter, &refs),
+            GnttabCopyBatch { granter, ops } => self.gnttab_copy_batch(caller, granter, &ops),
             GnttabForeignSetup {
                 owner,
                 grantee,
@@ -600,7 +605,145 @@ impl Hypervisor {
                 buf.extend_from_slice(&data);
                 Ok(HypercallRet::Ok)
             }
+            Multicall { calls } => self.multicall(caller, calls),
         }
+    }
+
+    // ----- batched hypercall bodies -----
+    //
+    // Outlined from `dispatch` (and kept out of line) so the batch loops
+    // do not bloat the hot single-op dispatch path: the common tiny
+    // hypercalls (yield, event send, single map) stay on a compact,
+    // cache-friendly match.
+
+    /// One table lookup for the whole (granter, caller) pair; per-entry
+    /// compact status after that, as in GNTTABOP arrays (Xen reports a
+    /// small GNTST_* code per entry, not a full errno object). Single
+    /// pass: each entry is a dense grant-table index plus a dense
+    /// frame-table index.
+    #[inline(never)]
+    fn gnttab_map_batch(
+        &mut self,
+        caller: DomId,
+        granter: DomId,
+        refs: &[GrantRef],
+    ) -> HvResult<HypercallRet> {
+        let table = self
+            .grants
+            .get_mut(&granter)
+            .ok_or(HvError::NoSuchDomain(granter))?;
+        let mut results = Vec::with_capacity(refs.len());
+        for &gref in refs {
+            results.push(match table.map_compact(caller, gref) {
+                Ok((mfn, _access)) => match self.mem.inc_grant_mapping(mfn) {
+                    Ok(()) => GrantOpStatus::Done(mfn),
+                    Err(e) => GrantOpStatus::Memory(e),
+                },
+                Err(e) => GrantOpStatus::Grant(e),
+            });
+        }
+        Ok(HypercallRet::GrantBatch(results))
+    }
+
+    #[inline(never)]
+    fn gnttab_unmap_batch(
+        &mut self,
+        caller: DomId,
+        granter: DomId,
+        refs: &[GrantRef],
+    ) -> HvResult<HypercallRet> {
+        let table = self
+            .grants
+            .get_mut(&granter)
+            .ok_or(HvError::NoSuchDomain(granter))?;
+        let mut results = Vec::with_capacity(refs.len());
+        for &gref in refs {
+            results.push(match table.unmap_compact(caller, gref) {
+                Ok(mfn) => match self.mem.dec_grant_mapping(mfn) {
+                    Ok(()) => GrantOpStatus::Done(mfn),
+                    Err(e) => GrantOpStatus::Memory(e),
+                },
+                Err(e) => GrantOpStatus::Grant(e),
+            });
+        }
+        Ok(HypercallRet::GrantBatch(results))
+    }
+
+    #[inline(never)]
+    fn gnttab_copy_batch(
+        &mut self,
+        caller: DomId,
+        granter: DomId,
+        ops: &[GrantCopyOp],
+    ) -> HvResult<HypercallRet> {
+        let table = self
+            .grants
+            .get_mut(&granter)
+            .ok_or(HvError::NoSuchDomain(granter))?;
+        let resolved = table.grant_copy_batch(caller, ops);
+        let results = resolved
+            .into_iter()
+            .map(|r| {
+                let (mfn, op) = match r {
+                    Ok(pair) => pair,
+                    Err(e) => return GrantOpStatus::Grant(e),
+                };
+                let copied = match op.dir {
+                    GrantCopyDir::FromGrant => self.mem.read_mfn(mfn).and_then(|page| {
+                        // The caller's frame may be CoW-shared;
+                        // break sharing before clobbering it.
+                        let local = self.mem.exclusive_mfn(caller, op.local_pfn)?;
+                        self.mem.write_mfn_page(local, page)
+                    }),
+                    GrantCopyDir::ToGrant => self
+                        .mem
+                        .read(caller, op.local_pfn)
+                        .and_then(|page| self.mem.write_mfn_page(mfn, page)),
+                };
+                match copied {
+                    Ok(()) => GrantOpStatus::Done(mfn),
+                    Err(HvError::Memory(e)) => GrantOpStatus::Memory(e),
+                    // read/exclusive/write only surface memory faults
+                    // on this path; keep the match total regardless.
+                    Err(_) => GrantOpStatus::Memory(MemError::BadMfn(mfn.0)),
+                }
+            })
+            .collect();
+        Ok(HypercallRet::GrantBatch(results))
+    }
+
+    /// The gate already did the caller lookup and liveness screen once
+    /// for the whole batch; snapshot the whitelist bitset (a u64 copy)
+    /// so each sub-call is screened without re-walking the domain table.
+    #[inline(never)]
+    fn multicall(&mut self, caller: DomId, calls: Vec<Hypercall>) -> HvResult<HypercallRet> {
+        let permitted = self.domain(caller)?.privileges.hypercalls;
+        let mut results = Vec::with_capacity(calls.len());
+        for sub in calls {
+            let sub_id = sub.id();
+            if sub_id == HypercallId::Multicall {
+                results.push(Err(HvError::InvalidArgument(
+                    "nested multicall".to_string(),
+                )));
+                continue;
+            }
+            // Per-entry whitelist screen: a multicall must not
+            // smuggle a call the caller could not issue directly.
+            // Denials are recorded in the trace like direct calls
+            // so the over-privilege audit sees them.
+            if sub_id.is_privileged() && !permitted.contains(sub_id) {
+                self.record(caller, sub_id, false);
+                results.push(Err(HvError::PermissionDenied {
+                    caller,
+                    privilege: format!("hypercall {}", sub_id.name()),
+                }));
+                continue;
+            }
+            let r = self.dispatch(caller, sub);
+            self.record(caller, sub_id, r.is_ok());
+            results.push(r);
+        }
+        Ok(HypercallRet::Multi(results))
     }
 
     // ----- non-hypercall services -----
@@ -1289,6 +1432,230 @@ mod transfer_hypercall_tests {
         assert!(matches!(err, HvError::Grant(_)));
         // The rightful grantee still can.
         hv.hypercall(nb, Hypercall::GnttabAcceptTransfer { granter: g, gref })
+            .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod multicall_tests {
+    use super::*;
+    use crate::error::{EventError, GrantError};
+
+    /// Dom0, a running guest, and an unprivileged netback shard
+    /// delegated to the guest.
+    fn platform() -> (Hypervisor, DomId, DomId, DomId) {
+        let mut hv = Hypervisor::with_default_host();
+        let dom0 = hv
+            .create_boot_domain("dom0", DomainRole::ControlVm, 512, PrivilegeSet::dom0())
+            .unwrap();
+        let g = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCreateDomain {
+                    name: "g".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        hv.hypercall(
+            dom0,
+            Hypercall::MemoryPopulate {
+                target: g,
+                frames: 8,
+            },
+        )
+        .unwrap();
+        hv.hypercall(dom0, Hypercall::DomctlUnpauseDomain { target: g })
+            .unwrap();
+        hv.domain_mut(g).unwrap().delegated_shards.insert(dom0);
+        let nb = hv
+            .create_boot_domain("netback", DomainRole::Shard, 128, PrivilegeSet::default())
+            .unwrap();
+        hv.domain_mut(g).unwrap().delegated_shards.insert(nb);
+        (hv, dom0, g, nb)
+    }
+
+    #[test]
+    fn multicall_runs_all_entries_without_partial_abort() {
+        let (mut hv, _dom0, g, _nb) = platform();
+        let ret = hv
+            .hypercall(
+                g,
+                Hypercall::Multicall {
+                    calls: vec![
+                        Hypercall::SchedYield,
+                        // Sending on a port the guest never opened fails...
+                        Hypercall::EvtchnSend { port: 77 },
+                        // ...but the entries after it still run.
+                        Hypercall::SchedYield,
+                    ],
+                },
+            )
+            .unwrap()
+            .multi();
+        assert_eq!(ret.len(), 3);
+        assert_eq!(ret[0], Ok(HypercallRet::Ok));
+        assert!(matches!(
+            ret[1],
+            Err(HvError::Event(EventError::BadPort(77)))
+        ));
+        assert_eq!(ret[2], Ok(HypercallRet::Ok));
+    }
+
+    #[test]
+    fn multicall_cannot_smuggle_unwhitelisted_subcall() {
+        let (mut hv, _dom0, _g, nb) = platform();
+        hv.set_tracing(true);
+        let ret = hv
+            .hypercall(
+                nb,
+                Hypercall::Multicall {
+                    calls: vec![Hypercall::SchedYield, Hypercall::SysctlPhysinfo],
+                },
+            )
+            .unwrap()
+            .multi();
+        assert_eq!(ret[0], Ok(HypercallRet::Ok));
+        assert!(matches!(ret[1], Err(HvError::PermissionDenied { .. })));
+        // The denied sub-call must be visible to the over-privilege
+        // audit, exactly as a direct denied call would be.
+        let trace = hv.take_trace();
+        assert!(trace
+            .iter()
+            .any(|t| t.caller == nb && t.id == HypercallId::SysctlPhysinfo && !t.allowed));
+        assert!(trace
+            .iter()
+            .any(|t| t.caller == nb && t.id == HypercallId::Multicall && t.allowed));
+    }
+
+    #[test]
+    fn nested_multicall_rejected_per_entry() {
+        let (mut hv, _dom0, g, _nb) = platform();
+        let ret = hv
+            .hypercall(
+                g,
+                Hypercall::Multicall {
+                    calls: vec![
+                        Hypercall::Multicall { calls: vec![] },
+                        Hypercall::SchedYield,
+                    ],
+                },
+            )
+            .unwrap()
+            .multi();
+        assert!(matches!(ret[0], Err(HvError::InvalidArgument(_))));
+        assert_eq!(ret[1], Ok(HypercallRet::Ok));
+    }
+
+    #[test]
+    fn grant_batch_round_trip_matches_singles() {
+        let (mut hv, _dom0, g, nb) = platform();
+        let mut refs = Vec::new();
+        for pfn in 0..4u64 {
+            refs.push(
+                hv.hypercall(
+                    g,
+                    Hypercall::GnttabGrantAccess {
+                        grantee: nb,
+                        pfn: Pfn(pfn),
+                        access: GrantAccess::ReadWrite,
+                    },
+                )
+                .unwrap()
+                .grant_ref(),
+            );
+        }
+        let mut batch = refs.clone();
+        batch.push(GrantRef(999)); // bad entry rides along
+        let batch: std::rc::Rc<[GrantRef]> = batch.into();
+        let mapped = hv
+            .hypercall(
+                nb,
+                Hypercall::GnttabMapBatch {
+                    granter: g,
+                    refs: batch.clone(),
+                },
+            )
+            .unwrap()
+            .grant_batch();
+        assert_eq!(mapped.len(), 5);
+        for r in &mapped[..4] {
+            assert!(matches!(r, GrantOpStatus::Done(_)));
+        }
+        assert_eq!(mapped[4], GrantOpStatus::Grant(GrantError::BadRef(999)));
+        let unmapped = hv
+            .hypercall(
+                nb,
+                Hypercall::GnttabUnmapBatch {
+                    granter: g,
+                    refs: batch,
+                },
+            )
+            .unwrap()
+            .grant_batch();
+        for (m, u) in mapped[..4].iter().zip(&unmapped[..4]) {
+            assert_eq!(m, u, "unmap must release the same frame map resolved");
+        }
+        assert!(!unmapped[4].is_ok());
+    }
+
+    #[test]
+    fn copy_batch_moves_bytes_both_ways() {
+        let (mut hv, _dom0, g, nb) = platform();
+        hv.mem.write(g, Pfn(1), b"from-guest").unwrap();
+        let gref = hv
+            .hypercall(
+                g,
+                Hypercall::GnttabGrantAccess {
+                    grantee: nb,
+                    pfn: Pfn(1),
+                    access: GrantAccess::ReadWrite,
+                },
+            )
+            .unwrap()
+            .grant_ref();
+        let ops = vec![crate::grant::GrantCopyOp {
+            gref,
+            dir: crate::grant::GrantCopyDir::FromGrant,
+            local_pfn: Pfn(0),
+        }];
+        let ret = hv
+            .hypercall(
+                nb,
+                Hypercall::GnttabCopyBatch {
+                    granter: g,
+                    ops: ops.into(),
+                },
+            )
+            .unwrap()
+            .grant_batch();
+        assert!(ret[0].is_ok());
+        let page = hv.mem.read(nb, Pfn(0)).unwrap();
+        assert_eq!(&page.as_slice()[..10], b"from-guest");
+        // And back: the shard pushes a reply into the guest's frame.
+        hv.mem.write(nb, Pfn(0), b"from-shard").unwrap();
+        let ops = vec![crate::grant::GrantCopyOp {
+            gref,
+            dir: crate::grant::GrantCopyDir::ToGrant,
+            local_pfn: Pfn(0),
+        }];
+        let ret = hv
+            .hypercall(
+                nb,
+                Hypercall::GnttabCopyBatch {
+                    granter: g,
+                    ops: ops.into(),
+                },
+            )
+            .unwrap()
+            .grant_batch();
+        assert!(ret[0].is_ok());
+        let page = hv.mem.read(g, Pfn(1)).unwrap();
+        assert_eq!(&page.as_slice()[..10], b"from-shard");
+        // Copies leave no grant mappings behind: revocation succeeds.
+        hv.hypercall(g, Hypercall::GnttabEndAccess { gref })
             .unwrap();
     }
 }

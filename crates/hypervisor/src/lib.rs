@@ -57,6 +57,7 @@
 pub mod domain;
 pub mod error;
 pub mod event;
+pub mod fasthash;
 pub mod grant;
 pub mod hypercall;
 pub mod hypervisor;

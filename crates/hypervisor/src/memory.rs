@@ -43,6 +43,8 @@
 //! property tests.
 
 use std::collections::{BTreeSet, HashMap};
+
+use crate::fasthash::FastMap;
 use std::fmt;
 use std::ops::Deref;
 use std::rc::Rc;
@@ -313,8 +315,82 @@ struct FrameInfo {
 /// Per-domain pseudo-physical address space: `Pfn -> Mfn`.
 #[derive(Debug, Clone, Default)]
 struct P2m {
-    map: HashMap<u64, Mfn>,
+    map: FastMap<u64, Mfn>,
     next_pfn: u64,
+}
+
+/// The dense frame table: per-frame metadata indexed by `mfn - base`,
+/// as in Xen's `frame_table` array. MFNs are allocated monotonically
+/// and never reused, so a frame's slot is a single bounds-checked array
+/// index — the per-entry cost the batched grant path pays, with no
+/// hashing. Freed frames leave a `None` slot behind (the model keeps
+/// MFN allocation monotonic so observable frame numbering is unchanged
+/// from the hash-table implementation).
+#[derive(Debug, Clone, Default)]
+struct FrameTable {
+    /// First valid MFN (the "firmware hole" offset).
+    base: u64,
+    slots: Vec<Option<FrameInfo>>,
+    /// Number of live (non-`None`) slots.
+    live: usize,
+}
+
+impl FrameTable {
+    fn new(base: u64) -> Self {
+        FrameTable {
+            base,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, raw: u64) -> Option<&FrameInfo> {
+        let i = raw.checked_sub(self.base)? as usize;
+        self.slots.get(i)?.as_ref()
+    }
+
+    #[inline]
+    fn get_mut(&mut self, raw: u64) -> Option<&mut FrameInfo> {
+        let i = raw.checked_sub(self.base)? as usize;
+        self.slots.get_mut(i)?.as_mut()
+    }
+
+    fn insert(&mut self, raw: u64, f: FrameInfo) {
+        let i = (raw - self.base) as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].replace(f).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, raw: u64) -> Option<FrameInfo> {
+        let i = raw.checked_sub(self.base)? as usize;
+        let f = self.slots.get_mut(i)?.take();
+        if f.is_some() {
+            self.live -= 1;
+        }
+        f
+    }
+
+    #[inline]
+    fn contains(&self, raw: u64) -> bool {
+        self.get(raw).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live frames in ascending MFN order.
+    fn iter(&self) -> impl Iterator<Item = (u64, &FrameInfo)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|f| (self.base + i as u64, f)))
+    }
 }
 
 /// The machine-memory manager.
@@ -329,14 +405,14 @@ struct P2m {
 pub struct MemoryManager {
     total_frames: u64,
     next_mfn: u64,
-    frames: HashMap<u64, FrameInfo>,
-    p2m: HashMap<DomId, P2m>,
+    frames: FrameTable,
+    p2m: FastMap<DomId, P2m>,
     free_count: u64,
     /// Reverse index: `mfn -> mappers`. An entry exists iff at least one
     /// p2m entry references the frame.
-    rmap: HashMap<u64, RefList>,
+    rmap: FastMap<u64, RefList>,
     /// Content-hash index over non-empty frames: `hash -> mfns`.
-    by_hash: HashMap<u64, Vec<u64>>,
+    by_hash: FastMap<u64, Vec<u64>>,
     /// Dirty-page candidates per domain: a superset of the PFNs whose
     /// mapped frame carries a set dirty bit, so `take_dirty` is
     /// proportional to pages touched, not to domain size.
@@ -353,11 +429,11 @@ impl MemoryManager {
         MemoryManager {
             total_frames,
             next_mfn: 0x1000, // Leave a hole for "firmware", as real hosts do.
-            frames: HashMap::new(),
-            p2m: HashMap::new(),
+            frames: FrameTable::new(0x1000),
+            p2m: FastMap::default(),
             free_count: total_frames,
-            rmap: HashMap::new(),
-            by_hash: HashMap::new(),
+            rmap: FastMap::default(),
+            by_hash: FastMap::default(),
             dirty: HashMap::new(),
             dedup_on_write: false,
             dedup_write_freed: 0,
@@ -433,7 +509,7 @@ impl MemoryManager {
     /// Sets a frame's dirty bit and records every current mapper as a
     /// dirty-page candidate.
     fn mark_dirty(&mut self, mfn: Mfn) {
-        if let Some(f) = self.frames.get_mut(&mfn.0) {
+        if let Some(f) = self.frames.get_mut(mfn.0) {
             f.dirty_since_snapshot = true;
         }
         if let Some(l) = self.rmap.get(&mfn.0) {
@@ -448,14 +524,14 @@ impl MemoryManager {
     fn set_frame_data(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
         let hash = content_hash(&page);
         let (old_hash, old_nonempty) = {
-            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
             (f.hash, !f.data.is_empty())
         };
         if old_nonempty {
             self.hash_index_remove(old_hash, mfn.0);
         }
         let nonempty = !page.is_empty();
-        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         f.data = page;
         f.hash = hash;
         if nonempty {
@@ -510,7 +586,7 @@ impl MemoryManager {
     /// Returns the owner of a machine frame.
     pub fn owner(&self, mfn: Mfn) -> HvResult<DomId> {
         self.frames
-            .get(&mfn.0)
+            .get(mfn.0)
             .map(|f| f.owner)
             .ok_or_else(|| MemError::BadMfn(mfn.0).into())
     }
@@ -556,7 +632,7 @@ impl MemoryManager {
     fn try_dedup_write(&mut self, dom: DomId, pfn: Pfn, data: &[u8]) -> HvResult<bool> {
         let cur = self.translate(dom, pfn)?;
         {
-            let f = self.frames.get(&cur.0).ok_or(MemError::BadMfn(cur.0))?;
+            let f = self.frames.get(cur.0).ok_or(MemError::BadMfn(cur.0))?;
             if f.grant_mappings > 0 || f.foreign_mappings > 0 {
                 // Pinned frames keep the plain CoW write path.
                 return Ok(false);
@@ -566,7 +642,7 @@ impl MemoryManager {
         let mut canon: Option<u64> = None;
         if let Some(mfns) = self.by_hash.get(&hash) {
             for &raw in mfns {
-                let Some(f) = self.frames.get(&raw) else {
+                let Some(f) = self.frames.get(raw) else {
                     continue;
                 };
                 if f.grant_mappings > 0 || f.foreign_mappings > 0 {
@@ -590,7 +666,7 @@ impl MemoryManager {
         // Detach (dom, pfn) from its current frame.
         self.rmap_remove(cur.0, dom, pfn.0);
         if self.rmap_len(cur.0) == 0 {
-            if let Some(old) = self.frames.remove(&cur.0) {
+            if let Some(old) = self.frames.remove(cur.0) {
                 if !old.data.is_empty() {
                     self.hash_index_remove(old.hash, cur.0);
                 }
@@ -605,7 +681,7 @@ impl MemoryManager {
         self.rmap.entry(canon).or_default().push(dom, pfn.0);
         if self
             .frames
-            .get(&canon)
+            .get(canon)
             .is_some_and(|f| f.dirty_since_snapshot)
         {
             self.dirty.entry(dom).or_default().insert(pfn.0);
@@ -631,7 +707,7 @@ impl MemoryManager {
         // Allocate a private copy (of the handle, not the bytes) and
         // remap this domain's PFN to it.
         let (data, hash) = {
-            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
             (f.data.clone(), f.hash)
         };
         let new_mfn = Mfn(self.next_mfn);
@@ -681,7 +757,7 @@ impl MemoryManager {
             let mut cand: Vec<u64> = mfns
                 .iter()
                 .copied()
-                .filter(|raw| {
+                .filter(|&raw| {
                     self.frames.get(raw).is_some_and(|f| {
                         f.grant_mappings == 0 && f.foreign_mappings == 0 && !f.data.is_empty()
                     })
@@ -701,10 +777,13 @@ impl MemoryManager {
             // group is MFN-sorted, so each bucket head is its minimum.
             let mut buckets: Vec<Vec<u64>> = Vec::new();
             for &raw in &group {
+                // Every member survived the candidate filter above, so
+                // both lookups hit; an evicted frame just never matches.
                 let pos = buckets.iter().position(|b| {
-                    let head = &self.frames[&b[0]].data;
-                    let cand = &self.frames[&raw].data;
-                    head == cand
+                    match (self.frames.get(b[0]), self.frames.get(raw)) {
+                        (Some(head), Some(cand)) => head.data == cand.data,
+                        _ => false,
+                    }
                 });
                 match pos {
                     Some(i) => buckets[i].push(raw),
@@ -727,7 +806,7 @@ impl MemoryManager {
         let moved = self.rmap.remove(&dup).unwrap_or_default();
         let canon_dirty = self
             .frames
-            .get(&canonical)
+            .get(canonical)
             .is_some_and(|f| f.dirty_since_snapshot);
         for &(d, p) in moved.as_slice() {
             if let Some(m) = self.p2m.get_mut(&d) {
@@ -738,7 +817,7 @@ impl MemoryManager {
                 self.dirty.entry(d).or_default().insert(p);
             }
         }
-        if let Some(f) = self.frames.remove(&dup) {
+        if let Some(f) = self.frames.remove(dup) {
             if !f.data.is_empty() {
                 self.hash_index_remove(f.hash, dup);
             }
@@ -760,7 +839,7 @@ impl MemoryManager {
     pub fn transfer_frame(&mut self, from: DomId, pfn: Pfn, to: DomId) -> HvResult<Pfn> {
         let mfn = self.translate(from, pfn)?;
         {
-            let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
             if self.rmap_len(mfn.0) > 1 || f.grant_mappings > 0 || f.foreign_mappings > 0 {
                 return Err(MemError::FrameBusy(mfn.0).into());
             }
@@ -775,7 +854,7 @@ impl MemoryManager {
         dst.map.insert(dst.next_pfn, mfn);
         dst.next_pfn += 1;
         self.rmap.insert(mfn.0, RefList::one(to, new_pfn.0));
-        if let Some(f) = self.frames.get_mut(&mfn.0) {
+        if let Some(f) = self.frames.get_mut(mfn.0) {
             f.owner = to;
         }
         self.mark_dirty(mfn);
@@ -806,36 +885,39 @@ impl MemoryManager {
     pub fn read_mfn(&self, mfn: Mfn) -> HvResult<PageRef> {
         Ok(self
             .frames
-            .get(&mfn.0)
+            .get(mfn.0)
             .ok_or(MemError::BadMfn(mfn.0))?
             .data
             .clone())
     }
 
     /// Increments the grant-mapping count of a frame.
-    pub(crate) fn inc_grant_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
-        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+    ///
+    /// Returns the bare [`MemError`] so batch paths can record a compact
+    /// per-entry status without widening to [`crate::error::HvError`].
+    pub(crate) fn inc_grant_mapping(&mut self, mfn: Mfn) -> Result<(), MemError> {
+        let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         f.grant_mappings += 1;
         Ok(())
     }
 
     /// Decrements the grant-mapping count of a frame.
-    pub(crate) fn dec_grant_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
-        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+    pub(crate) fn dec_grant_mapping(&mut self, mfn: Mfn) -> Result<(), MemError> {
+        let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         f.grant_mappings = f.grant_mappings.saturating_sub(1);
         Ok(())
     }
 
     /// Increments the foreign-mapping count of a frame.
     pub(crate) fn inc_foreign_mapping(&mut self, mfn: Mfn) -> HvResult<()> {
-        let f = self.frames.get_mut(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         f.foreign_mappings += 1;
         Ok(())
     }
 
     /// Number of active mappings (grant + foreign) of a frame.
     pub fn mapping_count(&self, mfn: Mfn) -> HvResult<u32> {
-        let f = self.frames.get(&mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+        let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
         Ok(f.grant_mappings + f.foreign_mappings)
     }
 
@@ -859,10 +941,10 @@ impl MemoryManager {
             }
             let unmapped = self
                 .frames
-                .get(&mfn.0)
+                .get(mfn.0)
                 .is_some_and(|f| f.grant_mappings == 0 && f.foreign_mappings == 0);
             if unmapped {
-                if let Some(f) = self.frames.remove(&mfn.0) {
+                if let Some(f) = self.frames.remove(mfn.0) {
                     if !f.data.is_empty() {
                         self.hash_index_remove(f.hash, mfn.0);
                     }
@@ -893,14 +975,14 @@ impl MemoryManager {
             };
             if self
                 .frames
-                .get(&mfn.0)
+                .get(mfn.0)
                 .is_some_and(|f| f.dirty_since_snapshot)
             {
                 dirty.push((Pfn(pfn), mfn));
             }
         }
         for (_, mfn) in &dirty {
-            if let Some(f) = self.frames.get_mut(&mfn.0) {
+            if let Some(f) = self.frames.get_mut(mfn.0) {
                 f.dirty_since_snapshot = false;
             }
         }
@@ -936,7 +1018,7 @@ impl MemoryManager {
         let mut shadow: HashMap<u64, Vec<(DomId, u64)>> = HashMap::new();
         for (&dom, p2m) in &self.p2m {
             for (&pfn, &mfn) in &p2m.map {
-                if !self.frames.contains_key(&mfn.0) {
+                if !self.frames.contains(mfn.0) {
                     return Err(format!("{dom} pfn {pfn} maps missing mfn {:#x}", mfn.0));
                 }
                 shadow.entry(mfn.0).or_default().push((dom, pfn));
@@ -971,7 +1053,7 @@ impl MemoryManager {
             }
         }
         // Content-hash index.
-        for (&raw, f) in &self.frames {
+        for (raw, f) in self.frames.iter() {
             if f.hash != content_hash(&f.data) {
                 return Err(format!("stale hash for mfn {raw:#x}"));
             }
@@ -990,7 +1072,7 @@ impl MemoryManager {
             for &raw in v {
                 let ok = self
                     .frames
-                    .get(&raw)
+                    .get(raw)
                     .is_some_and(|f| f.hash == h && !f.data.is_empty());
                 if !ok {
                     return Err(format!("hash index lists stale mfn {raw:#x}"));
@@ -1002,7 +1084,7 @@ impl MemoryManager {
             for (&pfn, &mfn) in &p2m.map {
                 let is_dirty = self
                     .frames
-                    .get(&mfn.0)
+                    .get(mfn.0)
                     .is_some_and(|f| f.dirty_since_snapshot);
                 if is_dirty && !self.dirty.get(&dom).is_some_and(|s| s.contains(&pfn)) {
                     return Err(format!(

@@ -13,6 +13,8 @@
 
 use std::collections::HashMap;
 
+use crate::fasthash::FastMap;
+
 use crate::domain::DomId;
 
 /// Scheduling parameters of one domain.
@@ -56,7 +58,7 @@ const CREDITS_PER_PERIOD: i64 = 30_000;
 /// The scheduler: tracks credits and distributes simulated CPU time.
 #[derive(Debug)]
 pub struct CreditScheduler {
-    entries: HashMap<DomId, SchedEntry>,
+    entries: FastMap<DomId, SchedEntry>,
     physical_cpus: u32,
 }
 
@@ -64,7 +66,7 @@ impl CreditScheduler {
     /// Creates a scheduler for a host with `physical_cpus` CPUs.
     pub fn new(physical_cpus: u32) -> Self {
         CreditScheduler {
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             physical_cpus: physical_cpus.max(1),
         }
     }

@@ -81,6 +81,9 @@ pub fn run(platform: &mut Platform, guest: DomId, bytes: u64, sink: Sink) -> Wge
     } else {
         1.0
     };
+    // Writeback scratch, reused across bursts so the steady-state transfer
+    // loop does not allocate.
+    let mut ops: Vec<(BlkOp, u64, u64)> = Vec::with_capacity(BATCH as usize);
 
     while remaining > 0 || pending_disk > 0 {
         // The remote server keeps a batch of chunks in flight.
@@ -105,18 +108,25 @@ pub fn run(platform: &mut Platform, guest: DomId, bytes: u64, sink: Sink) -> Wge
                 pending_disk += pkt.bytes as u64;
             }
         }
-        // Writeback in disk-sized sequential bursts.
+        // Writeback in disk-sized sequential bursts, batched: the whole
+        // burst goes down as one ring operation with a single trailing
+        // notify instead of one submit per chunk.
         let mut disk_ns = 0;
+        ops.clear();
         while pending_disk >= CHUNK as u64 || (remaining == 0 && pending_disk > 0) {
             let chunk = pending_disk.min(CHUNK as u64);
             let sectors = chunk.div_ceil(512).min(64);
-            if platform
-                .blk_submit(guest, BlkOp::Write, disk_sector, sectors)
-                .is_ok()
-            {
-                disk_sector += sectors;
-                pending_disk -= chunk;
+            ops.push((BlkOp::Write, disk_sector, sectors));
+            disk_sector += sectors;
+            pending_disk -= chunk;
+        }
+        let mut start = 0;
+        while start < ops.len() {
+            let end = (start + BATCH as usize).min(ops.len());
+            if platform.blk_submit_batch(guest, &ops[start..end]).is_ok() {
+                start = end;
             } else {
+                // Ring full: drain completions and retry the same batch.
                 let s = platform.process_blkbacks();
                 disk_ns += s.service_ns;
                 while platform.blk_poll(guest).is_some() {}

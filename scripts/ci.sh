@@ -13,8 +13,17 @@ cargo test -q --offline
 
 # Bench gate: run the deterministic harnesses and keep their
 # machine-readable tails (the harness prints one JSON document as the
-# last stdout line) as committed perf baselines at the repo root.
-cargo bench --offline -p xoar-bench --bench microbench | tail -n 1 > BENCH_microbench.json
+# last stdout line) as committed perf baselines at the repo root. The
+# fresh microbench run is compared against the committed baseline
+# BEFORE it replaces it: bench-gate fails on any hot-path entry whose
+# median regressed by more than 2x.
+fresh_microbench="$(mktemp)"
+trap 'rm -f "$fresh_microbench"' EXIT
+cargo bench --offline -p xoar-bench --bench microbench | tail -n 1 > "$fresh_microbench"
+cargo run --release --offline -p xoar-bench --bin bench_gate -- \
+    BENCH_microbench.json "$fresh_microbench"
+mv "$fresh_microbench" BENCH_microbench.json
+trap - EXIT
 cargo bench --offline -p xoar-bench --bench ablation | tail -n 1 > BENCH_ablation.json
 echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
 

@@ -1,0 +1,208 @@
+//! Differential property tests for the batched data path: a random
+//! interleaving of batched operations must be observably equivalent to
+//! issuing the same operations singly — grants (GNTTABOP-style arrays
+//! under one Multicall), events (coalesced sends against poll loops),
+//! and rings (batch push/pop against slot-at-a-time).
+
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_devices::ring::{Ring, RingError};
+use xoar_hypervisor::grant::{GrantAccess, GrantOpStatus, GrantRef};
+use xoar_hypervisor::memory::Pfn;
+use xoar_hypervisor::{DomId, HvError, Hypercall, HypercallRet};
+use xoar_sim::prop::Runner;
+
+/// A platform with one guest and the first netback, plus `n` grants
+/// from the guest to the netback (pfns 20, 21, …).
+fn granted_platform(n: u32) -> (Platform, DomId, DomId, Vec<GrantRef>) {
+    let mut p = Platform::xoar(XoarConfig::default());
+    let ts = p.services.toolstacks[0];
+    let g = p
+        .create_guest(ts, GuestConfig::evaluation_guest("diff"))
+        .expect("guest");
+    let nb = p.services.netbacks[0];
+    let refs: Vec<GrantRef> = (0..n)
+        .map(|i| {
+            p.hv.hypercall(
+                g,
+                Hypercall::GnttabGrantAccess {
+                    grantee: nb,
+                    pfn: Pfn(20 + u64::from(i)),
+                    access: GrantAccess::ReadWrite,
+                },
+            )
+            .expect("grant")
+            .grant_ref()
+        })
+        .collect();
+    (p, g, nb, refs)
+}
+
+/// Batched grant map/unmap arrays (inside a Multicall) against the same
+/// operations issued one hypercall at a time: every per-entry status and
+/// the final table state must match.
+#[test]
+fn grant_batches_equal_singles() {
+    Runner::cases(16).run("grant batches equal singles", |gen| {
+        let (mut pa, g, nb, refs) = granted_platform(8);
+        let (mut pb, _, _, _) = granted_platform(8);
+        let chunks = gen.vec(1..12, |gen| {
+            let map = gen.bool();
+            // Indexes past the granted range produce BadRef entries —
+            // those must not abort the rest of the batch.
+            let idx = gen.vec(1..6, |gen| gen.usize(0..12));
+            (map, idx)
+        });
+        for (map, idx) in chunks {
+            let batch_refs: Vec<GrantRef> = idx
+                .iter()
+                .map(|&i| refs.get(i).copied().unwrap_or(GrantRef(999)))
+                .collect();
+            let call = if map {
+                Hypercall::GnttabMapBatch {
+                    granter: g,
+                    refs: batch_refs.clone().into(),
+                }
+            } else {
+                Hypercall::GnttabUnmapBatch {
+                    granter: g,
+                    refs: batch_refs.clone().into(),
+                }
+            };
+            // A: the whole chunk as one batch op carried in a Multicall.
+            let outer = pa
+                .hv
+                .hypercall(nb, Hypercall::Multicall { calls: vec![call] })
+                .expect("multicall itself is unprivileged")
+                .multi();
+            assert_eq!(outer.len(), 1);
+            let batched = outer[0].clone().expect("batch op dispatches").grant_batch();
+            // B: the same entries, one hypercall each. Singles return rich
+            // HvResults; batches return compact per-entry statuses — fold
+            // the rich shape down and they must agree entry for entry.
+            assert_eq!(batched.len(), batch_refs.len());
+            for (i, (&gref, status)) in batch_refs.iter().zip(&batched).enumerate() {
+                let call = if map {
+                    Hypercall::GnttabMapGrantRef { granter: g, gref }
+                } else {
+                    Hypercall::GnttabUnmapGrantRef { granter: g, gref }
+                };
+                match pb.hv.hypercall(nb, call) {
+                    Ok(HypercallRet::Mfn(mfn)) => {
+                        assert_eq!(*status, GrantOpStatus::Done(mfn), "entry {i} diverged")
+                    }
+                    Ok(_) => assert!(status.is_ok(), "entry {i}: single ok, batch failed"),
+                    Err(HvError::Grant(e)) => {
+                        assert_eq!(*status, GrantOpStatus::Grant(e), "entry {i} diverged")
+                    }
+                    Err(HvError::Memory(e)) => {
+                        assert_eq!(*status, GrantOpStatus::Memory(e), "entry {i} diverged")
+                    }
+                    Err(other) => panic!("unexpected single-op error: {other}"),
+                }
+            }
+        }
+        // Final state: ending each grant must succeed/fail identically
+        // (an entry still mapped refuses EndAccess in both worlds).
+        for &gref in &refs {
+            let a = pa.hv.hypercall(g, Hypercall::GnttabEndAccess { gref });
+            let b = pb.hv.hypercall(g, Hypercall::GnttabEndAccess { gref });
+            assert_eq!(a, b, "end-access diverged for {gref:?}");
+        }
+    });
+}
+
+/// Random bursts of sends on random ports: draining the pending bitmap
+/// must yield exactly the set of ports a poll loop yields, and the
+/// delivered count (0→1 transitions) must match.
+#[test]
+fn event_drain_equals_poll_loop() {
+    Runner::cases(16).run("event drain equals poll loop", |gen| {
+        let (mut pa, g, nb, _) = granted_platform(1);
+        let (mut pb, _, _, _) = granted_platform(1);
+        let mut ports = Vec::new();
+        for _ in 0..4 {
+            let mk = |p: &mut Platform| {
+                let port =
+                    p.hv.hypercall(g, Hypercall::EvtchnAllocUnbound { remote: nb })
+                        .expect("alloc")
+                        .port();
+                p.hv.hypercall(
+                    nb,
+                    Hypercall::EvtchnBindInterdomain {
+                        remote: g,
+                        remote_port: port,
+                    },
+                )
+                .expect("bind");
+                port
+            };
+            let pa_port = mk(&mut pa);
+            let pb_port = mk(&mut pb);
+            assert_eq!(pa_port, pb_port, "port allocation must be identical");
+            ports.push(pa_port);
+        }
+        let sends = gen.vec(1..24, |gen| gen.usize(0..4));
+        for &i in &sends {
+            let port = ports[i];
+            pa.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
+            pb.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
+        }
+        assert_eq!(
+            pa.hv.events.delivered_count(),
+            pb.hv.events.delivered_count()
+        );
+        let drained: Vec<u32> = pa
+            .hv
+            .events
+            .drain_pending(nb)
+            .iter()
+            .map(|e| e.port)
+            .collect();
+        let mut polled = Vec::new();
+        while let Some(ev) = pb.hv.events.poll(nb) {
+            polled.push(ev.port);
+        }
+        assert_eq!(drained, polled, "drain and poll loop saw different ports");
+        assert_eq!(pa.hv.events.pending_count(nb), 0);
+    });
+}
+
+/// Ring batch push/pop against slot-at-a-time operation: when a batch
+/// fits it must queue exactly what singles would; when it does not fit
+/// it must refuse without queueing anything.
+#[test]
+fn ring_batches_equal_singles() {
+    Runner::cases(24).run("ring batches equal singles", |gen| {
+        let mut ra: Ring<u64, u64> = Ring::new(16);
+        let mut rb: Ring<u64, u64> = Ring::new(16);
+        let mut next = 0u64;
+        let steps = gen.vec(1..20, |gen| (gen.bool(), gen.usize(1..20)));
+        let mut scratch = Vec::new();
+        for (push, n) in steps {
+            if push {
+                let items: Vec<u64> = (0..n as u64).map(|i| next + i).collect();
+                let fits = items.len() <= ra.free_slots();
+                let got = ra.push_requests(items.clone());
+                if fits {
+                    assert_eq!(got, Ok(items.len()));
+                    for &v in &items {
+                        rb.push_request(v).expect("single push fits too");
+                    }
+                    next += items.len() as u64;
+                } else {
+                    assert_eq!(got, Err(RingError::Full), "overfull batch must refuse");
+                    // All-or-nothing: B queues nothing either.
+                }
+            } else {
+                scratch.clear();
+                ra.pop_requests_into(&mut scratch);
+                let mut singles = Vec::new();
+                while let Some(v) = rb.pop_request() {
+                    singles.push(v);
+                }
+                assert_eq!(scratch, singles, "batch pop diverged from singles");
+            }
+        }
+        assert_eq!(ra.pending_requests(), rb.pending_requests());
+    });
+}
