@@ -16,9 +16,10 @@ use std::process::ExitCode;
 use xoar_analysis::overpriv;
 use xoar_analysis::reach::Reachability;
 use xoar_analysis::rules;
-use xoar_analysis::snapshot::{GrantEdge, ModelSnapshot};
+use xoar_analysis::snapshot::{DomainInfo, GrantEdge, ModelSnapshot, SharedFrame};
 use xoar_core::platform::Platform;
-use xoar_hypervisor::{HvError, Hypercall, HypercallId, HypercallRet};
+use xoar_hypervisor::domain::DomainRole;
+use xoar_hypervisor::{DomId, HvError, Hypercall, HypercallId, HypercallRet};
 
 fn main() -> ExitCode {
     let selftest = std::env::args().any(|a| a == "--selftest");
@@ -101,8 +102,33 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
         writable: true,
     });
     snap.grants.sort();
+    // Injection 3: a raw cross-guest frame alias — neither CoW dedup nor
+    // a frozen snapshot baseline, and no grant between the pair. The
+    // sharing rule must flag it. The scenario tears its HVM guest down,
+    // so the peer is a synthetic guest injected fixture-style.
+    let second_guest = DomId(9999);
+    snap.domains.insert(
+        second_guest,
+        DomainInfo::fixture(second_guest, "guest", DomainRole::Guest),
+    );
+    snap.shared_frames.push(SharedFrame {
+        mfn: 999_001,
+        mappers: vec![guest, second_guest],
+        cow: false,
+        frozen: false,
+    });
+    // …while the identical alias marked as a frozen snapshot baseline
+    // must NOT fire (microreboot CoW pre-images are hypervisor-managed,
+    // not guest communication).
+    snap.shared_frames.push(SharedFrame {
+        mfn: 999_002,
+        mappers: vec![guest, second_guest],
+        cow: false,
+        frozen: true,
+    });
+    snap.shared_frames.sort();
 
-    // Injection 3 (live platform): a shard abuses the unprivileged
+    // Injection 4 (live platform): a shard abuses the unprivileged
     // Multicall to smuggle a privileged sub-call it is not whitelisted
     // for. The gate must deny the entry per-Xen-semantics (no batch
     // abort) AND the attempt must land in the trace, where the
@@ -149,6 +175,21 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
             eprintln!("selftest: FAIL — {expected} did not fire");
             ok = false;
         }
+    }
+    let raw_alias_fired = violations
+        .iter()
+        .any(|v| v.rule == "undeclared-sharing" && v.detail.contains("mfn 999001"));
+    let frozen_alias_fired = violations
+        .iter()
+        .any(|v| v.rule == "undeclared-sharing" && v.detail.contains("mfn 999002"));
+    if raw_alias_fired && !frozen_alias_fired {
+        println!("selftest: raw frame alias fired; frozen snapshot alias exempt");
+    } else {
+        eprintln!(
+            "selftest: FAIL — frame aliasing (raw_fired={raw_alias_fired} \
+             frozen_fired={frozen_alias_fired}; frozen CoW baselines must be exempt)"
+        );
+        ok = false;
     }
     if ok {
         println!(

@@ -11,7 +11,7 @@
 //! | `only-builder-blanket` | `map_foreign_any` is held by the Builder alone at steady state |
 //! | `backend-grant-only` | driver backends reach frames only via explicit grants |
 //! | `guest-noninterference` | no guest reaches another guest's memory except through a grant |
-//! | `undeclared-sharing` | guests grant frames only to shards delegated to them (or their stub/toolstack) |
+//! | `undeclared-sharing` | guests grant frames only to shards delegated to them (or their stub/toolstack), and guests alias machine frames only under hypervisor-managed CoW (dedup or frozen snapshot baselines) |
 //! | `constraint-groups` | a shared backend never serves guests from different constraint groups |
 
 use std::collections::BTreeMap;
@@ -199,6 +199,44 @@ fn undeclared_sharing(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
             ));
         }
     }
+    // Cross-domain frame aliasing: benign when the hypervisor manages it
+    // as copy-on-write (content dedup — a write breaks the share) or as
+    // a frozen microreboot snapshot baseline. A *raw* share between two
+    // live guests is a covert channel unless one granted to the other.
+    for f in &snap.shared_frames {
+        if f.cow || f.frozen {
+            continue;
+        }
+        let guests: Vec<DomId> = f
+            .mappers
+            .iter()
+            .copied()
+            .filter(|m| {
+                snap.domains
+                    .get(m)
+                    .is_some_and(|d| d.role == DomainRole::Guest && d.is_live())
+            })
+            .collect();
+        for (i, &a) in guests.iter().enumerate() {
+            for &b in &guests[i + 1..] {
+                let granted = snap.grants.iter().any(|g| {
+                    (g.granter == a && g.grantee == b) || (g.granter == b && g.grantee == a)
+                });
+                if !granted {
+                    out.push(Violation::new(
+                        "undeclared-sharing",
+                        a,
+                        format!(
+                            "guests {a} and {b} alias mfn {} outside hypervisor-managed \
+                             CoW (not dedup, not a frozen snapshot baseline) with no \
+                             grant between them",
+                            f.mfn
+                        ),
+                    ));
+                }
+            }
+        }
+    }
 }
 
 fn constraint_groups(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
@@ -338,6 +376,61 @@ mod tests {
             "{v:?}"
         );
         assert!(v.iter().any(|x| x.subject == DomId(10)));
+    }
+
+    #[test]
+    fn raw_frame_alias_between_guests_is_flagged() {
+        use crate::snapshot::SharedFrame;
+        let raw = SharedFrame {
+            mfn: 77,
+            mappers: vec![DomId(10), DomId(11)],
+            cow: false,
+            frozen: false,
+        };
+        let v = run(&known_good().with_shared_frame(raw.clone()));
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "undeclared-sharing" && x.detail.contains("mfn 77")),
+            "{v:?}"
+        );
+        // The same alias under hypervisor-managed CoW is benign…
+        let cow = SharedFrame {
+            cow: true,
+            ..raw.clone()
+        };
+        assert_eq!(run(&known_good().with_shared_frame(cow)), vec![]);
+        // …as is a frozen snapshot baseline alias…
+        let frozen = SharedFrame {
+            frozen: true,
+            ..raw.clone()
+        };
+        assert_eq!(run(&known_good().with_shared_frame(frozen)), vec![]);
+        // …and a raw share covered by an explicit (declared) grant is
+        // consent.
+        let mut snap = known_good()
+            .with_shared_frame(raw)
+            .with_grant(grant(10, 11, 7));
+        snap.domains
+            .get_mut(&DomId(10))
+            .unwrap()
+            .delegated_shards
+            .insert(DomId(11));
+        assert!(run(&snap).iter().all(|x| x.rule != "undeclared-sharing"));
+    }
+
+    #[test]
+    fn shard_frame_alias_is_not_guest_sharing() {
+        use crate::snapshot::SharedFrame;
+        // A raw share where one mapper is a shard (e.g. a netback's
+        // snapshot machinery) involves no guest pair; other rules own
+        // shard privileges.
+        let snap = known_good().with_shared_frame(SharedFrame {
+            mfn: 5,
+            mappers: vec![DomId(2), DomId(10)],
+            cow: false,
+            frozen: false,
+        });
+        assert_eq!(run(&snap), vec![]);
     }
 
     #[test]

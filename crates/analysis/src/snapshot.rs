@@ -79,6 +79,29 @@ pub struct GrantEdge {
     pub writable: bool,
 }
 
+/// One machine frame mapped by more than one domain at capture time.
+///
+/// Cross-domain frame aliasing has two benign hypervisor-managed forms
+/// that the sharing rules must not misreport: content-dedup
+/// copy-on-write (any write breaks the share, so it carries no
+/// information between the mappers) and microreboot snapshot baselines
+/// (a frozen shard's pre-image aliases live frames until the first
+/// write). The capture records both properties so the
+/// `undeclared-sharing` rule fires only on *raw* aliasing — two domains
+/// genuinely reading each other's writes without a grant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SharedFrame {
+    /// The shared machine frame.
+    pub mfn: u64,
+    /// The distinct mapper domains, ascending.
+    pub mappers: Vec<DomId>,
+    /// Hypervisor-managed copy-on-write sharing (content dedup).
+    pub cow: bool,
+    /// At least one mapper holds a frozen microreboot snapshot, whose
+    /// CoW baseline legitimately aliases that domain's frames.
+    pub frozen: bool,
+}
+
 /// The frozen model.
 #[derive(Debug, Clone, Default)]
 pub struct ModelSnapshot {
@@ -92,6 +115,9 @@ pub struct ModelSnapshot {
     /// Domains holding privileged (ACL-bypassing) XenStore connections,
     /// ascending.
     pub xenstore_privileged: Vec<DomId>,
+    /// Frames mapped by more than one domain, sorted by MFN, with their
+    /// CoW/frozen provenance.
+    pub shared_frames: Vec<SharedFrame>,
 }
 
 impl ModelSnapshot {
@@ -110,6 +136,13 @@ impl ModelSnapshot {
     pub fn with_grant(mut self, edge: GrantEdge) -> Self {
         self.grants.push(edge);
         self.grants.sort();
+        self
+    }
+
+    /// Adds a shared frame to a fixture snapshot.
+    pub fn with_shared_frame(mut self, frame: SharedFrame) -> Self {
+        self.shared_frames.push(frame);
+        self.shared_frames.sort();
         self
     }
 
@@ -157,11 +190,30 @@ impl ModelSnapshot {
         }
         channels.sort();
         channels.dedup();
+        // Cross-domain frame aliasing in the live memory manager only
+        // arises from the hypervisor's own CoW machinery (content dedup
+        // and snapshot baselines) — grant maps pin frames rather than
+        // alias p2m entries — so every captured share is CoW. The
+        // `frozen` bit additionally records whether a mapper holds a
+        // live microreboot snapshot. Hand-built fixtures can assert raw
+        // (non-CoW) shares to exercise the rule.
+        let shared_frames =
+            p.hv.mem
+                .multi_domain_frames()
+                .into_iter()
+                .map(|(mfn, mappers)| SharedFrame {
+                    mfn: mfn.0,
+                    frozen: mappers.iter().any(|&d| p.hv.mem.is_frozen(d)),
+                    mappers,
+                    cow: true,
+                })
+                .collect();
         ModelSnapshot {
             domains,
             grants,
             channels,
             xenstore_privileged: p.xs.logic().privileged_domains(),
+            shared_frames,
         }
     }
 
@@ -226,13 +278,16 @@ impl ModelSnapshot {
             ));
         }
         out.push_str(&format!(
-            "grants={} channels={} xenstore_privileged={:?}\n",
+            "grants={} channels={} xenstore_privileged={:?} shared_frames={} (cow={} frozen={})\n",
             self.grants.len(),
             self.channels.len(),
             self.xenstore_privileged
                 .iter()
                 .map(|d| d.0)
                 .collect::<Vec<_>>(),
+            self.shared_frames.len(),
+            self.shared_frames.iter().filter(|f| f.cow).count(),
+            self.shared_frames.iter().filter(|f| f.frozen).count(),
         ));
         out
     }

@@ -270,6 +270,38 @@ fn bench_snapshot(h: &mut Harness) {
         p.hv.hypercall(builder, Hypercall::VmRollback { target: nb })
             .unwrap();
     });
+    // Taking a fresh snapshot of a populated shard: CoW freeze, so the
+    // cost must not scale with the number of clean pages.
+    h.bench_function("snapshot/cow_snapshot", || {
+        p.hv.hypercall(black_box(nb), Hypercall::VmSnapshot)
+            .unwrap();
+    });
+}
+
+/// The microreboot fast paths: the per-request XenStore-Logic restart of
+/// Figure 5.1 (restart + serve one read, mirroring the ablation's
+/// request cycle) and a full driver restart through the precompiled
+/// `RestartPlan`.
+fn bench_restart(h: &mut Harness) {
+    use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
+
+    let mut xs = XenStore::new();
+    let dom0 = DomId(0);
+    xs.set_privileged(dom0, true);
+    xs.write_str(dom0, "/bench/key", "value").unwrap();
+    h.bench_function("restart/per_request_logic", || {
+        xs.restart_logic();
+        xs.read_str(black_box(dom0), "/bench/key").unwrap();
+    });
+
+    let (mut p, _g) = platform_with_guest();
+    let nb = p.services.netbacks[0];
+    let mut eng = RestartEngine::new();
+    eng.register(&mut p, nb, RestartPolicy::Never, RestartPath::Fast)
+        .unwrap();
+    h.bench_function("restart/plan_execute", || {
+        eng.restart(&mut p, black_box(nb)).unwrap();
+    });
 }
 
 fn main() {
@@ -283,5 +315,6 @@ fn main() {
     bench_dedup_scale(&mut h);
     bench_xenstore(&mut h);
     bench_snapshot(&mut h);
+    bench_restart(&mut h);
     h.emit_json();
 }

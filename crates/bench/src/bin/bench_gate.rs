@@ -1,21 +1,28 @@
-//! `bench-gate` — CI regression gate over the microbench JSON.
+//! `bench-gate` — CI regression gate over the bench-harness JSON.
 //!
-//! Usage: `bench-gate <baseline.json> <fresh.json>`
+//! Usage: `bench-gate [--set=micro|--set=ablation] <baseline.json> <fresh.json>`
 //!
 //! Compares the fresh run's medians against the committed baseline for
-//! the hot-path entries of the batched I/O data path and fails (exit 1)
-//! if any regressed by more than the allowed factor. Entries absent
-//! from the baseline are reported and skipped, so adding a new bench
-//! does not break CI on the run that introduces it; entries absent from
-//! the fresh run fail loudly — a silently dropped bench is not a pass.
+//! the hot-path entries of the selected set and fails (exit 1) if any
+//! regressed by more than the allowed factor. Entries absent from the
+//! baseline are reported and skipped, so adding a new bench does not
+//! break CI on the run that introduces it; entries absent from the
+//! fresh run fail loudly — a silently dropped bench is not a pass.
+//!
+//! The microreboot fast-path entries additionally carry a *tail* rule:
+//! their fresh p95 must stay within a fixed factor of their own fresh
+//! median. A long tail on the per-request restart path means some
+//! iteration allocated or rescanned — exactly the regression the
+//! precompiled-plan work removed — and a median-only gate cannot see it.
 
 use std::process::ExitCode;
 
 use xoar_codec::{parse, Json};
 
-/// Entries the gate enforces: the per-op and batched data-path costs the
-/// perf argument rests on.
-const HOT_PATHS: [&str; 8] = [
+/// Entries the microbench gate enforces: the per-op and batched
+/// data-path costs the perf argument rests on, plus the microreboot
+/// fast paths.
+const MICRO_HOT_PATHS: [&str; 11] = [
     "hypercall/sched_yield",
     "evtchn/send_poll",
     "grant/map_unmap",
@@ -24,6 +31,26 @@ const HOT_PATHS: [&str; 8] = [
     "grant/map_unmap_batch32",
     "evtchn/send_coalesced",
     "blk/submit_batch",
+    "snapshot/cow_snapshot",
+    "restart/per_request_logic",
+    "restart/plan_execute",
+];
+
+/// Entries the ablation gate enforces: the Figure 5.1 per-request
+/// restart overhead and the slow/fast driver-restart paths of §6.1.2.
+const ABLATION_HOT_PATHS: [&str; 4] = [
+    "ablation/xenstore_split/request_no_restart",
+    "ablation/xenstore_split/request_with_per_request_restart",
+    "ablation/restart_paths/slow",
+    "ablation/restart_paths/fast",
+];
+
+/// Entries whose p95 tail is bounded relative to their own median.
+const TAIL_PATHS: [&str; 4] = [
+    "restart/per_request_logic",
+    "restart/plan_execute",
+    "ablation/restart_paths/slow",
+    "ablation/restart_paths/fast",
 ];
 
 /// A fresh median above `baseline * MAX_RATIO` fails the gate. 2x keeps
@@ -31,6 +58,13 @@ const HOT_PATHS: [&str; 8] = [
 /// regressions (the batching work moved these entries by more than 2x
 /// the other way).
 const MAX_RATIO: f64 = 2.0;
+
+/// A p95 above `median * TAIL_RATIO` fails the tail rule. The restart
+/// paths sit near 1.2x in steady state; 6x absorbs small-sample jitter
+/// (the ablation restart group runs 20 samples) while still catching
+/// the per-iteration allocation spikes the plan work eliminated, which
+/// showed up as >2x tails.
+const TAIL_RATIO: f64 = 6.0;
 
 fn as_ns(v: &Json) -> Option<f64> {
     match v {
@@ -41,8 +75,18 @@ fn as_ns(v: &Json) -> Option<f64> {
     }
 }
 
-/// Extracts `name -> median_ns` from a harness JSON document.
-fn medians(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+/// One bench entry as the gate sees it.
+#[derive(Debug, PartialEq)]
+struct Entry {
+    name: String,
+    median_ns: f64,
+    /// Absent from pre-tail-rule baselines; the tail rule only reads it
+    /// from fresh runs anyway.
+    p95_ns: Option<f64>,
+}
+
+/// Extracts the entries from a harness JSON document.
+fn entries(doc: &Json) -> Result<Vec<Entry>, String> {
     let results = doc
         .get("results")
         .and_then(Json::as_arr)
@@ -53,16 +97,21 @@ fn medians(doc: &Json) -> Result<Vec<(String, f64)>, String> {
             .get("name")
             .and_then(Json::as_str)
             .ok_or("entry without name")?;
-        let median = entry
+        let median_ns = entry
             .get("median_ns")
             .and_then(as_ns)
             .ok_or_else(|| format!("entry {name} without median_ns"))?;
-        out.push((name.to_string(), median));
+        let p95_ns = entry.get("p95_ns").and_then(as_ns);
+        out.push(Entry {
+            name: name.to_string(),
+            median_ns,
+            p95_ns,
+        });
     }
     Ok(out)
 }
 
-fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+fn load(path: &str) -> Result<Vec<Entry>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     // The harness prints the JSON document as the last stdout line; accept
     // either a bare document or a captured multi-line log.
@@ -72,14 +121,80 @@ fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
         .find(|l| !l.trim().is_empty())
         .ok_or_else(|| format!("{path} is empty"))?;
     let doc = parse(line).map_err(|e| format!("parse {path}: {e}"))?;
-    medians(&doc)
+    entries(&doc)
+}
+
+fn find<'a>(set: &'a [Entry], name: &str) -> Option<&'a Entry> {
+    set.iter().find(|e| e.name == name)
+}
+
+/// Applies the median-regression and tail rules; returns whether any
+/// hot-path entry failed.
+fn gate(hot_paths: &[&str], baseline: &[Entry], fresh: &[Entry]) -> bool {
+    let mut failed = false;
+    for &name in hot_paths {
+        let Some(new) = find(fresh, name) else {
+            eprintln!("bench-gate: FAIL {name}: missing from fresh run");
+            failed = true;
+            continue;
+        };
+        if TAIL_PATHS.contains(&name) {
+            if let Some(p95) = new.p95_ns {
+                let tail = if new.median_ns > 0.0 {
+                    p95 / new.median_ns
+                } else {
+                    f64::INFINITY
+                };
+                if tail > TAIL_RATIO {
+                    eprintln!(
+                        "bench-gate: FAIL {name}: p95 {p95:.1} ns is {tail:.2}x its \
+                         median {:.1} ns (> {TAIL_RATIO}x tail bound)",
+                        new.median_ns
+                    );
+                    failed = true;
+                }
+            }
+        }
+        let Some(old) = find(baseline, name) else {
+            println!(
+                "bench-gate: skip {name}: not in baseline yet ({:.1} ns)",
+                new.median_ns
+            );
+            continue;
+        };
+        let ratio = if old.median_ns > 0.0 {
+            new.median_ns / old.median_ns
+        } else {
+            f64::INFINITY
+        };
+        if ratio > MAX_RATIO {
+            eprintln!(
+                "bench-gate: FAIL {name}: {:.1} ns -> {:.1} ns ({ratio:.2}x > {MAX_RATIO}x)",
+                old.median_ns, new.median_ns
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench-gate: ok   {name}: {:.1} ns -> {:.1} ns ({ratio:.2}x)",
+                old.median_ns, new.median_ns
+            );
+        }
+    }
+    failed
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let [_, baseline_path, fresh_path] = &args[..] else {
-        eprintln!("usage: bench-gate <baseline.json> <fresh.json>");
-        return ExitCode::from(2);
+    let (hot_paths, baseline_path, fresh_path): (&[&str], &str, &str) = match &args[1..] {
+        [b, f] => (&MICRO_HOT_PATHS, b, f),
+        [set, b, f] if set == "--set=micro" => (&MICRO_HOT_PATHS, b, f),
+        [set, b, f] if set == "--set=ablation" => (&ABLATION_HOT_PATHS, b, f),
+        _ => {
+            eprintln!(
+                "usage: bench-gate [--set=micro|--set=ablation] <baseline.json> <fresh.json>"
+            );
+            return ExitCode::from(2);
+        }
     };
     let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
         (Ok(b), Ok(f)) => (b, f),
@@ -88,30 +203,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let find =
-        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, m)| m);
-    let mut failed = false;
-    for name in HOT_PATHS {
-        let Some(new) = find(&fresh, name) else {
-            eprintln!("bench-gate: FAIL {name}: missing from fresh run");
-            failed = true;
-            continue;
-        };
-        let Some(old) = find(&baseline, name) else {
-            println!("bench-gate: skip {name}: not in baseline yet ({new:.1} ns)");
-            continue;
-        };
-        let ratio = if old > 0.0 { new / old } else { f64::INFINITY };
-        if ratio > MAX_RATIO {
-            eprintln!(
-                "bench-gate: FAIL {name}: {old:.1} ns -> {new:.1} ns ({ratio:.2}x > {MAX_RATIO}x)"
-            );
-            failed = true;
-        } else {
-            println!("bench-gate: ok   {name}: {old:.1} ns -> {new:.1} ns ({ratio:.2}x)");
-        }
-    }
-    if failed {
+    if gate(hot_paths, &baseline, &fresh) {
         ExitCode::FAILURE
     } else {
         println!("bench-gate: no hot-path regression beyond {MAX_RATIO}x");
@@ -140,16 +232,27 @@ mod tests {
         )])
     }
 
-    #[test]
-    fn medians_extracts_names_and_values() {
-        let d = doc(&[("a/b", 10.5), ("c/d", 2.0)]);
-        let m = medians(&d).unwrap();
-        assert_eq!(m, vec![("a/b".to_string(), 10.5), ("c/d".to_string(), 2.0)]);
+    fn entry(name: &str, median_ns: f64, p95_ns: f64) -> Entry {
+        Entry {
+            name: name.to_string(),
+            median_ns,
+            p95_ns: Some(p95_ns),
+        }
     }
 
     #[test]
-    fn medians_rejects_malformed() {
-        assert!(medians(&Json::Null).is_err());
+    fn entries_extracts_names_and_values() {
+        let d = doc(&[("a/b", 10.5), ("c/d", 2.0)]);
+        let m = entries(&d).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].name, "a/b");
+        assert_eq!(m[0].median_ns, 10.5);
+        assert_eq!(m[0].p95_ns, None, "p95 optional for old baselines");
+    }
+
+    #[test]
+    fn entries_rejects_malformed() {
+        assert!(entries(&Json::Null).is_err());
         let no_median = Json::Obj(vec![(
             "results".to_string(),
             Json::Arr(vec![Json::Obj(vec![(
@@ -157,7 +260,7 @@ mod tests {
                 Json::Str("x".to_string()),
             )])]),
         )]);
-        assert!(medians(&no_median).is_err());
+        assert!(entries(&no_median).is_err());
     }
 
     #[test]
@@ -169,6 +272,44 @@ mod tests {
                 ("median_ns".to_string(), Json::U64(40758716)),
             ])]),
         )]);
-        assert_eq!(medians(&d).unwrap(), vec![("x".to_string(), 40758716.0)]);
+        let m = entries(&d).unwrap();
+        assert_eq!(m[0].median_ns, 40758716.0);
+    }
+
+    #[test]
+    fn median_regression_fails_gate() {
+        let name = "ablation/restart_paths/fast";
+        let baseline = vec![entry(name, 100.0, 120.0)];
+        let ok = vec![entry(name, 150.0, 200.0)];
+        let bad = vec![entry(name, 250.0, 300.0)];
+        assert!(!gate(&[name], &baseline, &ok));
+        assert!(gate(&[name], &baseline, &bad));
+    }
+
+    #[test]
+    fn long_tail_fails_gate_even_with_good_median() {
+        let name = "ablation/restart_paths/fast";
+        let baseline = vec![entry(name, 100.0, 120.0)];
+        // Median improved, but p95 is 10x the median: the per-iteration
+        // spike the tail rule exists to catch.
+        let spiky = vec![entry(name, 90.0, 900.0)];
+        assert!(gate(&[name], &baseline, &spiky));
+    }
+
+    #[test]
+    fn tail_rule_ignores_non_restart_entries() {
+        let name = "hypercall/sched_yield";
+        let baseline = vec![entry(name, 100.0, 120.0)];
+        let spiky = vec![entry(name, 90.0, 900.0)];
+        assert!(!gate(&[name], &baseline, &spiky));
+    }
+
+    #[test]
+    fn missing_fresh_entry_fails_new_baseline_entry_skips() {
+        let name = "restart/plan_execute";
+        // Not yet in the baseline: skip (first run introducing it).
+        assert!(!gate(&[name], &[], &[entry(name, 50.0, 60.0)]));
+        // Dropped from the fresh run: fail.
+        assert!(gate(&[name], &[entry(name, 50.0, 60.0)], &[]));
     }
 }

@@ -36,6 +36,7 @@ fn main() {
             "fast drop",
         ],
     );
+    let mut points = Vec::new();
     for interval_s in 1..=10u64 {
         let (mut ps, gs) = factory();
         let slow = restart_sweep::run_point(&mut ps, gs, GB2, interval_s, RestartPath::Slow);
@@ -47,6 +48,26 @@ fn main() {
             fast.throughput_mbps,
             (1.0 - slow.throughput_mbps / baseline) * 100.0,
             (1.0 - fast.throughput_mbps / baseline) * 100.0,
+        );
+        points.push((interval_s, slow, fast));
+    }
+
+    header(
+        "Rollback frequency: restarts executed over the sweep horizon",
+        &[
+            "Interval",
+            "restarts",
+            "slow outage total",
+            "fast outage total",
+        ],
+    );
+    for (interval_s, slow, fast) in &points {
+        assert_eq!(slow.restarts, fast.restarts, "same timer, same horizon");
+        println!(
+            "{interval_s:>7}s | {:>8} | {:>16.1}s | {:>16.1}s",
+            slow.restarts,
+            (slow.restarts * slow.downtime_ns) as f64 / 1e9,
+            (fast.restarts * fast.downtime_ns) as f64 / 1e9,
         );
     }
     println!(

@@ -16,6 +16,9 @@
 //! against a [`Platform`], producing the downtime windows the simulator
 //! feeds into its TCP model.
 
+use std::fmt::Write as _;
+
+use xoar_devices::ring::RingId;
 use xoar_hypervisor::memory::Pfn;
 use xoar_hypervisor::snapshot::RecoveryBox;
 use xoar_hypervisor::{DomId, HvError, HvResult, Hypercall};
@@ -78,6 +81,104 @@ pub enum RestartPolicy {
     PerRequest,
 }
 
+/// Which service table a registered shard lives in, resolved once at
+/// registration (`platform.netbacks` / `platform.blkbacks` are aligned
+/// with `services.netbacks` / `services.blkbacks` and never reordered).
+#[derive(Debug, Clone, Copy)]
+enum ServiceSlot {
+    /// `platform.netbacks[i]`.
+    Net(usize),
+    /// `platform.blkbacks[i]`.
+    Blk(usize),
+}
+
+/// The precompiled restart plan: everything `restart()` would otherwise
+/// recompute or reallocate per microreboot is resolved at registration
+/// and reused. The scratch buffers are refilled in place each restart —
+/// registration may precede guest attach, so the ring list has to track
+/// the live attachment table, but its capacity is paid once.
+#[derive(Debug, Default)]
+struct RestartPlan {
+    /// Resolved service-table slot (replaces two `position()` scans per
+    /// restart). `None` for shards with no rings (e.g. XenStore).
+    slot: Option<ServiceSlot>,
+    /// Ring-reattach scratch: the rings to detach and recreate.
+    rings: Vec<RingId>,
+    /// Event-channel rebind scratch: the shard-local ports kicked (one
+    /// batched multicall) to tell frontends their rings are back.
+    ports: Vec<u32>,
+    /// Audit template: `prefix + pages_restored + "}}"` is byte-identical
+    /// to the canonical JSON of `AuditEvent::ShardRestarted`.
+    audit_prefix: String,
+    /// Reusable payload composition buffer.
+    payload: String,
+}
+
+impl RestartPlan {
+    /// Compiles the plan for `dom` against the platform's service tables.
+    fn compile(platform: &Platform, dom: DomId) -> Self {
+        let slot = platform
+            .services
+            .netbacks
+            .iter()
+            .position(|d| *d == dom)
+            .map(ServiceSlot::Net)
+            .or_else(|| {
+                platform
+                    .services
+                    .blkbacks
+                    .iter()
+                    .position(|d| *d == dom)
+                    .map(ServiceSlot::Blk)
+            });
+        RestartPlan {
+            slot,
+            rings: Vec::new(),
+            ports: Vec::new(),
+            audit_prefix: format!(
+                "{{\"ShardRestarted\":{{\"shard\":{},\"pages_restored\":",
+                dom.0
+            ),
+            payload: String::new(),
+        }
+    }
+
+    /// Refills the ring/port scratch from the live attachment table,
+    /// sorted for deterministic replay order.
+    fn refresh(&mut self, platform: &Platform) {
+        self.rings.clear();
+        self.ports.clear();
+        match self.slot {
+            Some(ServiceSlot::Net(i)) => {
+                for conn in platform.netbacks[i].conn_iter() {
+                    self.rings.push(conn.ring);
+                    self.ports.push(conn.back_port);
+                }
+            }
+            Some(ServiceSlot::Blk(i)) => {
+                for conn in platform.blkbacks[i].conn_iter() {
+                    self.rings.push(conn.ring);
+                    self.ports.push(conn.back_port);
+                }
+            }
+            None => {}
+        }
+        self.rings.sort_unstable_by_key(|r| (r.granter.0, r.gref.0));
+        self.ports.sort_unstable();
+        self.ports.dedup();
+    }
+
+    /// Composes the audit payload for this restart into the reusable
+    /// buffer and returns it.
+    fn compose_audit(&mut self, pages_restored: u64) -> &str {
+        self.payload.clear();
+        self.payload.push_str(&self.audit_prefix);
+        let _ = write!(self.payload, "{pages_restored}");
+        self.payload.push_str("}}");
+        &self.payload
+    }
+}
+
 /// A restartable shard registration.
 #[derive(Debug)]
 struct Registration {
@@ -85,6 +186,7 @@ struct Registration {
     policy: RestartPolicy,
     path: RestartPath,
     last_restart_ns: u64,
+    plan: RestartPlan,
 }
 
 /// The outcome of one shard restart.
@@ -155,11 +257,13 @@ impl RestartEngine {
         // external interfaces.
         platform.hv.hypercall(dom, Hypercall::VmSnapshot)?;
         let now = platform.now_ns();
+        let plan = RestartPlan::compile(platform, dom);
         self.registrations.push(Registration {
             dom,
             policy,
             path,
             last_restart_ns: now,
+            plan,
         });
         Ok(())
     }
@@ -212,19 +316,25 @@ impl RestartEngine {
             .collect()
     }
 
-    /// Executes a microreboot of `shard` on `platform`.
+    /// Executes a microreboot of `shard` on `platform` by running the
+    /// shard's precompiled [`RestartPlan`].
     ///
     /// The rollback is performed with a real `VmRollback` hypercall issued
-    /// by the Builder; driver rings are detached (dropping in-flight
-    /// requests, which frontends retransmit); for the slow path the
-    /// connections are fully renegotiated, for the fast path they are
-    /// re-established from persisted configuration.
+    /// by the Builder; the plan's ring list is refreshed from the live
+    /// attachment table, every ring is detached (dropping in-flight
+    /// requests, which frontends retransmit) and recreated, and the
+    /// frontends are re-notified with one batched multicall of event
+    /// kicks. For the slow path the connections are fully renegotiated,
+    /// for the fast path they are re-established from persisted
+    /// configuration — the wall-clock difference is carried in
+    /// `downtime_ns`.
     pub fn restart(&mut self, platform: &mut Platform, shard: DomId) -> HvResult<RestartOutcome> {
-        let reg = self
+        let idx = self
             .registrations
-            .iter_mut()
-            .find(|r| r.dom == shard)
+            .iter()
+            .position(|r| r.dom == shard)
             .ok_or(HvError::NoSuchDomain(shard))?;
+        let reg = &mut self.registrations[idx];
         let path = reg.path;
         let builder = platform.services.builder;
 
@@ -238,27 +348,45 @@ impl RestartEngine {
             _ => 0,
         };
 
-        // 2. Detach every ring the shard serves; count lost work.
+        // 2. Execute the plan: detach every ring the shard serves
+        //    (counting lost work), then recreate each one.
+        reg.plan.refresh(platform);
         let mut requests_lost = 0;
-        if let Some(idx) = platform.services.netbacks.iter().position(|d| *d == shard) {
-            for conn in platform.netbacks[idx].connections() {
-                if let Ok(ring) = platform.net_hub.get_mut(conn.ring) {
-                    requests_lost += ring.detach();
+        match reg.plan.slot {
+            Some(ServiceSlot::Net(_)) => {
+                for &ring in &reg.plan.rings {
+                    if let Ok(r) = platform.net_hub.get_mut(ring) {
+                        requests_lost += r.detach();
+                    }
+                    platform.net_hub.create(ring);
                 }
             }
-        }
-        if let Some(idx) = platform.services.blkbacks.iter().position(|d| *d == shard) {
-            for conn in platform.blkbacks[idx].connections() {
-                if let Ok(ring) = platform.blk_hub.get_mut(conn.ring) {
-                    requests_lost += ring.detach();
+            Some(ServiceSlot::Blk(_)) => {
+                for &ring in &reg.plan.rings {
+                    if let Ok(r) = platform.blk_hub.get_mut(ring) {
+                        requests_lost += r.detach();
+                    }
+                    platform.blk_hub.create(ring);
                 }
             }
+            None => {}
         }
 
-        // 3. Reconnect: the fast path restores rings from the recovery
-        // box; the slow path renegotiates (modelled by recreating the
-        // rings — the wall-clock difference is carried in downtime_ns).
-        Self::reattach_rings(platform, shard);
+        // 3. Rebind event channels: the restarted backend kicks every
+        //    frontend once, batched through a single multicall. Kicks are
+        //    best-effort — a stale port fails its sub-call without
+        //    aborting the batch.
+        if !reg.plan.ports.is_empty() {
+            let calls = reg
+                .plan
+                .ports
+                .iter()
+                .map(|&port| Hypercall::EvtchnSend { port })
+                .collect();
+            platform
+                .hv
+                .hypercall(shard, Hypercall::Multicall { calls })?;
+        }
 
         let downtime_ns = match path {
             RestartPath::Slow => {
@@ -269,19 +397,19 @@ impl RestartEngine {
             }
         };
         let now = platform.now_ns();
-        let reg = self
-            .registrations
-            .iter_mut()
-            .find(|r| r.dom == shard)
-            .expect("still registered");
         reg.last_restart_ns = now;
         self.total_restarts += 1;
-        platform.audit.append(
+
+        // 4. Audit from the precompiled template (no per-restart JSON
+        //    serialization; byte-identical to the canonical encoding).
+        let payload = reg.plan.compose_audit(pages_restored);
+        platform.audit.append_composed(
             now,
             AuditEvent::ShardRestarted {
                 shard,
                 pages_restored,
             },
+            payload,
         );
         Ok(RestartOutcome {
             shard,
@@ -289,19 +417,6 @@ impl RestartEngine {
             downtime_ns,
             requests_lost,
         })
-    }
-
-    fn reattach_rings(platform: &mut Platform, shard: DomId) {
-        if let Some(idx) = platform.services.netbacks.iter().position(|d| *d == shard) {
-            for conn in platform.netbacks[idx].connections() {
-                platform.net_hub.create(conn.ring);
-            }
-        }
-        if let Some(idx) = platform.services.blkbacks.iter().position(|d| *d == shard) {
-            for conn in platform.blkbacks[idx].connections() {
-                platform.blk_hub.create(conn.ring);
-            }
-        }
     }
 
     /// Total restarts executed.

@@ -264,6 +264,11 @@ impl BlkBack {
         self.attachments.iter().map(|a| a.conn).collect()
     }
 
+    /// Iterates current connections without allocating.
+    pub fn conn_iter(&self) -> impl Iterator<Item = &Connection> + '_ {
+        self.attachments.iter().map(|a| &a.conn)
+    }
+
     /// Services every attached ring: pops requests, validates them against
     /// the mounted image bounds, charges disk time, pushes responses.
     ///

@@ -161,6 +161,12 @@ impl NetBack {
         v
     }
 
+    /// Iterates current connections without allocating, in arbitrary
+    /// order (the restart fast path sorts into its own scratch).
+    pub fn conn_iter(&self) -> impl Iterator<Item = &Connection> + '_ {
+        self.attachments.values()
+    }
+
     /// One processing pass: move guest tx frames onto the wire and deliver
     /// pending wire rx frames into guest rings.
     pub fn process(&mut self, hub: &mut NetRingHub, wire: &mut WireEndpoint) -> NetBackStats {

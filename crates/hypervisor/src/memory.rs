@@ -34,15 +34,24 @@
 //!    groups by hash and confirms with byte equality — one pass, zero
 //!    page clones. The opt-in [`MemoryManager::set_dedup_on_write`] mode
 //!    merges at write time using the same index.
+//! 4. **Dirty bitmap + frozen baselines.** Dirty-page candidates live in
+//!    a two-level bitmap per domain (the event-channel `PendingBitmap`
+//!    construction applied to PFNs), so [`MemoryManager::take_dirty`]
+//!    walks only set words. [`MemoryManager::freeze`] arms a lazy
+//!    copy-on-write snapshot: nothing is copied at freeze time, and the
+//!    first post-freeze mutation of a page records its pre-image handle
+//!    (an `Rc` clone, not bytes) in the domain's [`FrozenImage`] so
+//!    [`MemoryManager::rollback_frozen`] can restore exactly the dirty
+//!    pages.
 //!
-//! All three are redundant views of the p2m + frame tables; they carry
+//! All four are redundant views of the p2m + frame tables; they carry
 //! no independent state, so determinism is unaffected (the canonical
 //! frame of a dedup group is still the lowest MFN, and all per-group
 //! merges commute). [`MemoryManager::check_consistency`] recomputes the
 //! shadow model from scratch and is exercised by the interleaving
 //! property tests.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use crate::fasthash::FastMap;
 use std::fmt;
@@ -296,6 +305,102 @@ impl RefList {
     }
 }
 
+/// Two-level dirty bitmap: one bit per PFN plus a selector layer with
+/// one bit per nonzero word — the event-channel `PendingBitmap`
+/// construction applied to dirty-page tracking, so draining the dirty
+/// set walks only the words the selectors say are live.
+///
+/// Guest PFNs are dense and allocated from zero, so the word vector
+/// stays proportional to the domain's address-space size; clearing via
+/// [`DirtyBitmap::drain_set_bits`] keeps the allocation for the next
+/// snapshot epoch (no per-rollback reallocation).
+#[derive(Debug, Clone, Default)]
+struct DirtyBitmap {
+    /// Level 2: bit `pfn % 64` of `words[pfn / 64]` ⇔ pfn dirty.
+    words: Vec<u64>,
+    /// Level 1: bit `w % 64` of `selectors[w / 64]` ⇔ `words[w] != 0`.
+    selectors: Vec<u64>,
+    /// Cached popcount over `words`.
+    count: usize,
+}
+
+impl DirtyBitmap {
+    /// Sets the bit for `pfn`; returns whether it was previously clear.
+    fn set(&mut self, pfn: u64) -> bool {
+        let w = (pfn / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (pfn % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        let s = w / 64;
+        if s >= self.selectors.len() {
+            self.selectors.resize(s + 1, 0);
+        }
+        self.selectors[s] |= 1u64 << (w % 64);
+        self.count += 1;
+        true
+    }
+
+    /// Whether the bit for `pfn` is set.
+    fn contains(&self, pfn: u64) -> bool {
+        self.words
+            .get((pfn / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (pfn % 64)) != 0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Clears every set bit in ascending PFN order, invoking `f` per
+    /// PFN. O(set words), not O(address space).
+    fn drain_set_bits(&mut self, mut f: impl FnMut(u64)) {
+        for s in 0..self.selectors.len() {
+            while self.selectors[s] != 0 {
+                let w = s * 64 + self.selectors[s].trailing_zeros() as usize;
+                let mut word = self.words[w];
+                while word != 0 {
+                    let b = word.trailing_zeros();
+                    f(w as u64 * 64 + b as u64);
+                    word &= word - 1;
+                }
+                self.words[w] = 0;
+                self.selectors[s] &= self.selectors[s] - 1;
+            }
+        }
+        self.count = 0;
+    }
+}
+
+/// The lazily-captured snapshot baseline of a frozen domain.
+///
+/// [`MemoryManager::freeze`] records only the address-space watermark;
+/// page pre-images are captured copy-on-write by the first mutation that
+/// would change the domain's view of a page ([`MemoryManager`] capture
+/// choke points: frame-body replacement, dedup remap, CoW break, dedup
+/// merge onto a dirty canonical frame). A captured entry is an `Rc`
+/// handle clone — freezing and capturing never copy page bytes.
+#[derive(Debug, Clone, Default)]
+struct FrozenImage {
+    /// `pfn -> page body at freeze time`, first-touch captured.
+    baseline: FastMap<u64, PageRef>,
+    /// `next_pfn` at freeze time. PFNs are allocated monotonically and
+    /// never reused, so `pfn < watermark` ⇔ the PFN existed at freeze;
+    /// younger PFNs roll back to the empty page, exactly as the eager
+    /// image (which never contained them) restored.
+    watermark: u64,
+    /// Pages mapped at freeze time (the eager image's `page_count()`).
+    page_count: u64,
+}
+
 /// Per-frame metadata.
 #[derive(Debug, Clone)]
 struct FrameInfo {
@@ -416,7 +521,9 @@ pub struct MemoryManager {
     /// Dirty-page candidates per domain: a superset of the PFNs whose
     /// mapped frame carries a set dirty bit, so `take_dirty` is
     /// proportional to pages touched, not to domain size.
-    dirty: HashMap<DomId, BTreeSet<u64>>,
+    dirty: FastMap<DomId, DirtyBitmap>,
+    /// Lazy CoW snapshot baselines of frozen domains.
+    frozen: FastMap<DomId, FrozenImage>,
     /// Opt-in incremental dedup: merge at write time (density mode).
     dedup_on_write: bool,
     /// Cumulative frames freed by the incremental dedup path.
@@ -434,7 +541,8 @@ impl MemoryManager {
             free_count: total_frames,
             rmap: FastMap::default(),
             by_hash: FastMap::default(),
-            dirty: HashMap::new(),
+            dirty: FastMap::default(),
+            frozen: FastMap::default(),
             dedup_on_write: false,
             dedup_write_freed: 0,
         }
@@ -512,16 +620,69 @@ impl MemoryManager {
         if let Some(f) = self.frames.get_mut(mfn.0) {
             f.dirty_since_snapshot = true;
         }
-        if let Some(l) = self.rmap.get(&mfn.0) {
-            let mappers: Vec<(DomId, u64)> = l.as_slice().to_vec();
-            for (d, p) in mappers {
-                self.dirty.entry(d).or_default().insert(p);
+        let Some(l) = self.rmap.get(&mfn.0) else {
+            return;
+        };
+        // Cloning the RefList is allocation-free in the dominant
+        // single-mapper (inline) case — the old `to_vec()` here was the
+        // per-write heap allocation behind the restart fast-path tail.
+        let l = l.clone();
+        for &(d, p) in l.as_slice() {
+            self.dirty.entry(d).or_default().set(p);
+        }
+    }
+
+    /// Records `data` as the frozen pre-image of (`dom`, `pfn`) if the
+    /// domain is frozen, the PFN existed at freeze time, and no earlier
+    /// mutation captured it already (first touch wins — it holds the
+    /// freeze-time contents).
+    fn capture_frozen_one(&mut self, dom: DomId, pfn: u64, data: &PageRef) {
+        if let Some(img) = self.frozen.get_mut(&dom) {
+            if pfn < img.watermark && !img.baseline.contains_key(&pfn) {
+                img.baseline.insert(pfn, data.clone());
             }
+        }
+    }
+
+    /// CoW-captures the current body of `mfn` for every frozen mapper
+    /// about to observe a change. `skip` suppresses capture for the
+    /// domain being rolled back: its restores must not pollute its own
+    /// baseline with pre-restore contents.
+    fn capture_frozen(&mut self, mfn: Mfn, skip: Option<DomId>) {
+        if self.frozen.is_empty() {
+            return;
+        }
+        let Some(l) = self.rmap.get(&mfn.0) else {
+            return;
+        };
+        let l = l.clone();
+        let Some(data) = self.frames.get(mfn.0).map(|f| f.data.clone()) else {
+            return;
+        };
+        for &(d, p) in l.as_slice() {
+            if skip == Some(d) {
+                continue;
+            }
+            self.capture_frozen_one(d, p, &data);
         }
     }
 
     /// Replaces a frame's body, keeping the content-hash index in sync.
     fn set_frame_data(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
+        self.set_frame_data_skip(mfn, page, None)
+    }
+
+    /// [`Self::set_frame_data`] with frozen-capture suppression for one
+    /// domain (the rollback restore path).
+    fn set_frame_data_skip(
+        &mut self,
+        mfn: Mfn,
+        page: PageRef,
+        skip: Option<DomId>,
+    ) -> HvResult<()> {
+        // Capture before replacement: the frozen pre-image is the body
+        // this store is about to overwrite.
+        self.capture_frozen(mfn, skip);
         let hash = content_hash(&page);
         let (old_hash, old_nonempty) = {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
@@ -663,6 +824,13 @@ impl MemoryManager {
             // Rewriting identical content to the canonical frame itself.
             return Ok(true);
         }
+        // The remap is about to change (dom, pfn)'s view: preserve the
+        // frozen pre-image (this path bypasses `set_frame_data`).
+        if !self.frozen.is_empty() {
+            if let Some(old) = self.frames.get(cur.0).map(|f| f.data.clone()) {
+                self.capture_frozen_one(dom, pfn.0, &old);
+            }
+        }
         // Detach (dom, pfn) from its current frame.
         self.rmap_remove(cur.0, dom, pfn.0);
         if self.rmap_len(cur.0) == 0 {
@@ -684,7 +852,7 @@ impl MemoryManager {
             .get(canon)
             .is_some_and(|f| f.dirty_since_snapshot)
         {
-            self.dirty.entry(dom).or_default().insert(pfn.0);
+            self.dirty.entry(dom).or_default().set(pfn.0);
         }
         Ok(true)
     }
@@ -710,6 +878,10 @@ impl MemoryManager {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
             (f.data.clone(), f.hash)
         };
+        // The break marks the private frame dirty without changing the
+        // bytes; a frozen domain that is never written again must still
+        // roll back to these contents, so capture them now.
+        self.capture_frozen_one(dom, pfn.0, &data);
         let new_mfn = Mfn(self.next_mfn);
         self.next_mfn += 1;
         self.free_count -= 1;
@@ -732,7 +904,7 @@ impl MemoryManager {
         self.rmap.insert(new_mfn.0, RefList::one(dom, pfn.0));
         let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
         p2m.map.insert(pfn.0, new_mfn);
-        self.dirty.entry(dom).or_default().insert(pfn.0);
+        self.dirty.entry(dom).or_default().set(pfn.0);
         Ok(new_mfn)
     }
 
@@ -808,13 +980,24 @@ impl MemoryManager {
             .frames
             .get(canonical)
             .is_some_and(|f| f.dirty_since_snapshot);
+        // A mapper moved onto a dirty canonical frame becomes dirty with
+        // its bytes unchanged (the merge is content-identical); a frozen
+        // mapper must capture those bytes or rollback would wipe them.
+        let canon_data = if canon_dirty && !self.frozen.is_empty() {
+            self.frames.get(canonical).map(|f| f.data.clone())
+        } else {
+            None
+        };
         for &(d, p) in moved.as_slice() {
             if let Some(m) = self.p2m.get_mut(&d) {
                 m.map.insert(p, Mfn(canonical));
             }
             self.rmap.entry(canonical).or_default().push(d, p);
             if canon_dirty {
-                self.dirty.entry(d).or_default().insert(p);
+                self.dirty.entry(d).or_default().set(p);
+                if let Some(ref data) = canon_data {
+                    self.capture_frozen_one(d, p, data);
+                }
             }
         }
         if let Some(f) = self.frames.remove(dup) {
@@ -828,6 +1011,27 @@ impl MemoryManager {
     /// Number of frames currently shared by more than one mapping.
     pub fn shared_frames(&self) -> u64 {
         self.rmap.values().filter(|l| l.len() > 1).count() as u64
+    }
+
+    /// Frames mapped by more than one *domain* (deduplicated CoW sharing),
+    /// with the distinct mapper domains sorted per frame and the result
+    /// sorted by MFN. Intra-domain aliases (one domain mapping a frame at
+    /// two PFNs) are not cross-domain sharing and are excluded.
+    pub fn multi_domain_frames(&self) -> Vec<(Mfn, Vec<DomId>)> {
+        let mut out = Vec::new();
+        for (&mfn, l) in &self.rmap {
+            if l.len() < 2 {
+                continue;
+            }
+            let mut doms: Vec<DomId> = l.as_slice().iter().map(|&(d, _)| d).collect();
+            doms.sort_by_key(|d| d.0);
+            doms.dedup();
+            if doms.len() >= 2 {
+                out.push((Mfn(mfn), doms));
+            }
+        }
+        out.sort_by_key(|&(m, _)| m.0);
+        out
     }
 
     /// Moves ownership of the frame at (`from`, `pfn`) to `to`, removing
@@ -931,6 +1135,7 @@ impl MemoryManager {
             return 0;
         };
         self.dirty.remove(&dom);
+        self.frozen.remove(&dom);
         let mut freed = 0;
         for (pfn, mfn) in p2m.map {
             self.rmap_remove(mfn.0, dom, pfn);
@@ -957,36 +1162,139 @@ impl MemoryManager {
     }
 
     /// Lists the dirty frames of `dom` and clears their dirty bits
-    /// (snapshot support). Proportional to the number of pages written
-    /// since the last call, not to the domain's total memory.
+    /// (snapshot support). Walks only the set words of the domain's
+    /// dirty bitmap — proportional to the number of pages written since
+    /// the last call, not to the domain's total memory.
     pub fn take_dirty(&mut self, dom: DomId) -> Vec<(Pfn, Mfn)> {
-        let Some(cands) = self.dirty.remove(&dom) else {
+        let Some(bm) = self.dirty.get_mut(&dom) else {
             return Vec::new();
         };
+        if bm.is_empty() {
+            return Vec::new();
+        }
+        let mut dirty = Vec::with_capacity(bm.len());
         let Some(p2m) = self.p2m.get(&dom) else {
-            return Vec::new();
+            // No address space left: discard the stale candidates.
+            bm.drain_set_bits(|_| {});
+            return dirty;
         };
-        let mut dirty = Vec::new();
-        for pfn in cands {
-            // BTreeSet iteration: ascending PFN, the order the previous
-            // full-scan implementation produced after sorting.
-            let Some(&mfn) = p2m.map.get(&pfn) else {
-                continue; // Stale candidate: the PFN was remapped away.
-            };
-            if self
-                .frames
-                .get(mfn.0)
-                .is_some_and(|f| f.dirty_since_snapshot)
-            {
-                dirty.push((Pfn(pfn), mfn));
+        // Manual two-level walk (ascending PFN, the order the previous
+        // sorted-scan implementation produced), filtering stale
+        // candidates and clearing frame dirty bits in the same pass.
+        for s in 0..bm.selectors.len() {
+            while bm.selectors[s] != 0 {
+                let w = s * 64 + bm.selectors[s].trailing_zeros() as usize;
+                let mut word = bm.words[w];
+                while word != 0 {
+                    let pfn = w as u64 * 64 + word.trailing_zeros() as u64;
+                    word &= word - 1;
+                    // Stale candidate: the PFN was remapped away or its
+                    // frame went clean under it.
+                    let Some(&mfn) = p2m.map.get(&pfn) else {
+                        continue;
+                    };
+                    let Some(f) = self.frames.get_mut(mfn.0) else {
+                        continue;
+                    };
+                    if f.dirty_since_snapshot {
+                        f.dirty_since_snapshot = false;
+                        dirty.push((Pfn(pfn), mfn));
+                    }
+                }
+                bm.words[w] = 0;
+                bm.selectors[s] &= bm.selectors[s] - 1;
             }
         }
-        for (_, mfn) in &dirty {
-            if let Some(f) = self.frames.get_mut(mfn.0) {
-                f.dirty_since_snapshot = false;
-            }
-        }
+        bm.count = 0;
         dirty
+    }
+
+    /// Freezes `dom`'s memory as a lazy copy-on-write snapshot and
+    /// returns the number of pages covered.
+    ///
+    /// Nothing is copied here: the call records the address-space
+    /// watermark, clears the domain's dirty state (the new snapshot
+    /// epoch), and empties the baseline. Pre-images are captured by the
+    /// first post-freeze mutation of each page, so the cost is
+    /// independent of how many pages the domain owns or how clean they
+    /// are. Freezing an already-frozen domain replaces the snapshot.
+    pub fn freeze(&mut self, dom: DomId) -> u64 {
+        let (count, watermark) = self
+            .p2m
+            .get(&dom)
+            .map_or((0, 0), |m| (m.map.len() as u64, m.next_pfn));
+        // Open the new epoch: pre-freeze dirt must not be restored.
+        let _ = self.take_dirty(dom);
+        let img = self.frozen.entry(dom).or_default();
+        img.baseline.clear();
+        img.watermark = watermark;
+        img.page_count = count;
+        count
+    }
+
+    /// Whether `dom` currently holds a frozen CoW snapshot.
+    pub fn is_frozen(&self, dom: DomId) -> bool {
+        self.frozen.contains_key(&dom)
+    }
+
+    /// Pages covered by `dom`'s frozen snapshot (`None` if not frozen).
+    pub fn frozen_page_count(&self, dom: DomId) -> Option<u64> {
+        self.frozen.get(&dom).map(|i| i.page_count)
+    }
+
+    /// Number of pre-images the frozen snapshot has captured so far
+    /// (`None` if not frozen). Zero on a domain that has not been
+    /// written since [`Self::freeze`] — the zero-copy invariant.
+    pub fn frozen_baseline_len(&self, dom: DomId) -> Option<usize> {
+        self.frozen.get(&dom).map(|i| i.baseline.len())
+    }
+
+    /// Drops `dom`'s frozen snapshot without restoring anything.
+    pub fn discard_frozen(&mut self, dom: DomId) {
+        self.frozen.remove(&dom);
+    }
+
+    /// Rolls `dom` back to its frozen snapshot: every page dirtied since
+    /// [`Self::freeze`] is restored to its captured pre-image (or the
+    /// empty page for PFNs younger than the freeze), except pages for
+    /// which `in_box` returns true (recovery boxes, §3.3). Returns the
+    /// number of pages restored.
+    ///
+    /// The snapshot stays armed: the baseline persists so repeated
+    /// rollbacks to the same freeze point keep working.
+    pub fn rollback_frozen(
+        &mut self,
+        dom: DomId,
+        mut in_box: impl FnMut(Pfn) -> bool,
+    ) -> HvResult<u64> {
+        if !self.frozen.contains_key(&dom) {
+            return Err(crate::error::HvError::Snapshot(format!(
+                "{dom} has no frozen snapshot to roll back to"
+            )));
+        }
+        let dirty = self.take_dirty(dom);
+        let mut restored = 0u64;
+        for (pfn, mfn) in dirty {
+            if in_box(pfn) {
+                continue;
+            }
+            let page = match self.frozen.get(&dom) {
+                Some(img) if pfn.0 < img.watermark => {
+                    img.baseline.get(&pfn.0).cloned().unwrap_or_default()
+                }
+                _ => PageRef::empty(),
+            };
+            // Suppress capture for `dom` itself: the restore must not
+            // record pre-restore contents as the frozen baseline. Other
+            // frozen domains sharing the frame still capture normally.
+            self.set_frame_data_skip(mfn, page, Some(dom))?;
+            self.mark_dirty(mfn);
+            restored += 1;
+        }
+        // The restores themselves re-dirtied the pages; clear that so
+        // the next rollback starts from a clean epoch.
+        let _ = self.take_dirty(dom);
+        Ok(restored)
     }
 
     /// Iterates over `dom`'s pseudo-physical map in PFN order.
@@ -1086,10 +1394,22 @@ impl MemoryManager {
                     .frames
                     .get(mfn.0)
                     .is_some_and(|f| f.dirty_since_snapshot);
-                if is_dirty && !self.dirty.get(&dom).is_some_and(|s| s.contains(&pfn)) {
+                if is_dirty && !self.dirty.get(&dom).is_some_and(|s| s.contains(pfn)) {
                     return Err(format!(
                         "dirty frame mfn {:#x} mapped at {dom} pfn {pfn} has no candidate",
                         mfn.0
+                    ));
+                }
+            }
+        }
+        // Frozen baselines only ever hold pre-freeze PFNs (younger PFNs
+        // roll back to the empty page by construction).
+        for (&dom, img) in &self.frozen {
+            for &pfn in img.baseline.keys() {
+                if pfn >= img.watermark {
+                    return Err(format!(
+                        "{dom} frozen baseline captured post-freeze pfn {pfn} (watermark {})",
+                        img.watermark
                     ));
                 }
             }

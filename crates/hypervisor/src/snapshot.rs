@@ -1,11 +1,13 @@
 //! Snapshot and rollback: microreboots without full reboots (§3.3).
 //!
 //! A shard calls `vm_snapshot()` once it has booted and initialized, *before*
-//! offering services over any external interface. The hypervisor records a
-//! lightweight copy-on-write image: subsequent writes mark frames dirty, and
-//! a rollback restores exactly the dirty frames from the image, making the
-//! cost of a microreboot proportional to the pages touched, not to the size
-//! of the VM.
+//! offering services over any external interface. The hypervisor freezes the
+//! domain lazily ([`MemoryManager::freeze`]): nothing is copied at snapshot
+//! time, the first post-snapshot write to each page captures its pre-image
+//! (a `PageRef` handle clone, not a byte copy), and a rollback walks only
+//! the set words of the domain's dirty bitmap — so both the snapshot and
+//! the microreboot cost are proportional to the pages *touched*, never to
+//! the size of the VM.
 //!
 //! Side-effectful state that must survive rollbacks (open connections,
 //! renegotiated ring details for the "fast" restart path of Figure 6.3)
@@ -16,7 +18,7 @@ use std::collections::HashMap;
 
 use crate::domain::DomId;
 use crate::error::{HvError, HvResult};
-use crate::memory::{MemoryManager, PageRef, Pfn};
+use crate::memory::{MemoryManager, Pfn};
 
 /// A contiguous PFN range registered as a recovery box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +37,14 @@ impl RecoveryBox {
 }
 
 /// The snapshot image of one domain.
+///
+/// Page contents live in the [`MemoryManager`]'s frozen baseline (captured
+/// copy-on-write at first post-snapshot touch); the image itself carries
+/// only the policy metadata the hypervisor keeps per snapshot.
 #[derive(Debug, Clone)]
 pub struct SnapshotImage {
-    /// Frame contents at snapshot time, keyed by PFN. Shared handles:
-    /// taking a snapshot bumps reference counts instead of copying
-    /// pages, so image size is proportional to metadata, not memory.
-    pages: HashMap<u64, PageRef>,
+    /// Pages covered by the snapshot at freeze time.
+    page_count: u64,
     /// Recovery boxes excluded from rollback.
     boxes: Vec<RecoveryBox>,
     /// Simulation time at which the snapshot was taken (ns).
@@ -50,9 +54,9 @@ pub struct SnapshotImage {
 }
 
 impl SnapshotImage {
-    /// Number of pages captured in the image.
+    /// Number of pages covered by the snapshot.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.page_count as usize
     }
 
     /// Whether `pfn` is shielded by a recovery box.
@@ -83,27 +87,26 @@ impl SnapshotManager {
         self.pending_boxes.entry(dom).or_default().push(rbox);
     }
 
-    /// Takes a snapshot of `dom`: captures the contents of every frame in
-    /// its pseudo-physical map and clears the dirty tracking so subsequent
-    /// writes are recorded as CoW deltas.
+    /// Takes a snapshot of `dom`: freezes the domain's pages lazily and
+    /// clears the dirty tracking so subsequent writes are recorded as CoW
+    /// deltas.
+    ///
+    /// No page bytes are copied here — pre-images are captured by the
+    /// first post-snapshot write to each page — so the cost is independent
+    /// of how many (clean) pages the domain holds.
     pub fn snapshot(&mut self, dom: DomId, mem: &mut MemoryManager, now_ns: u64) -> HvResult<()> {
-        let entries = mem.p2m_entries(dom);
-        if entries.is_empty() {
+        let page_count = mem.freeze(dom);
+        if page_count == 0 {
+            mem.discard_frozen(dom);
             return Err(HvError::Snapshot(format!(
                 "{dom} has no populated memory to snapshot"
             )));
         }
-        let mut pages = HashMap::with_capacity(entries.len());
-        for (pfn, mfn) in &entries {
-            pages.insert(pfn.0, mem.read_mfn(*mfn)?);
-        }
-        // Clear dirty bits: the snapshot defines the new baseline.
-        let _ = mem.take_dirty(dom);
         let boxes = self.pending_boxes.get(&dom).cloned().unwrap_or_default();
         self.images.insert(
             dom,
             SnapshotImage {
-                pages,
+                page_count,
                 boxes,
                 taken_at_ns: now_ns,
                 rollback_count: 0,
@@ -122,19 +125,7 @@ impl SnapshotManager {
             .images
             .get_mut(&dom)
             .ok_or_else(|| HvError::Snapshot(format!("{dom} has no snapshot")))?;
-        let dirty = mem.take_dirty(dom);
-        let mut restored = 0;
-        for (pfn, mfn) in dirty {
-            if image.in_recovery_box(pfn) {
-                continue;
-            }
-            let original = image.pages.get(&pfn.0).cloned().unwrap_or_default();
-            mem.write_mfn_page(mfn, original)?;
-            restored += 1;
-        }
-        // Restoration writes re-dirty the frames; clear them so the next
-        // rollback only touches genuinely new writes.
-        let _ = mem.take_dirty(dom);
+        let restored = mem.rollback_frozen(dom, |pfn| image.in_recovery_box(pfn))?;
         image.rollback_count += 1;
         Ok(restored)
     }
@@ -268,6 +259,26 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_of_clean_domain_copies_zero_page_bytes() {
+        let (mut sm, mut mem, dom) = setup();
+        for pfn in 0..8u64 {
+            mem.write(dom, Pfn(pfn), format!("boot{pfn}").as_bytes())
+                .unwrap();
+        }
+        sm.snapshot(dom, &mut mem, 0).unwrap();
+        assert_eq!(
+            mem.frozen_baseline_len(dom),
+            Some(0),
+            "freezing a clean domain captures no pre-images at all"
+        );
+        assert_eq!(mem.frozen_page_count(dom), Some(8));
+        // A write to one page captures exactly one pre-image — the CoW
+        // fault — and leaves the other seven untouched.
+        mem.write(dom, Pfn(3), b"touched").unwrap();
+        assert_eq!(mem.frozen_baseline_len(dom), Some(1));
+    }
+
+    #[test]
     fn discard_removes_image() {
         let (mut sm, mut mem, dom) = setup();
         sm.snapshot(dom, &mut mem, 0).unwrap();
@@ -308,6 +319,58 @@ mod proptests {
                 assert_eq!(
                     mem.read(dom, Pfn(pfn)).unwrap(),
                     format!("base{pfn}").into_bytes()
+                );
+            }
+        });
+    }
+
+    /// Differential test against the retired eager-copy implementation:
+    /// snapshot-time contents are copied into a shadow model up front, an
+    /// arbitrary write sequence runs, and after rollback every page
+    /// outside recovery boxes must equal the shadow while box pages keep
+    /// their post-write contents.
+    #[test]
+    fn cow_rollback_matches_eager_copy_semantics() {
+        Runner::cases(64).run("CoW rollback ≡ eager copy", |g| {
+            let mut mem = MemoryManager::new(64);
+            let dom = DomId(1);
+            mem.populate(dom, 8).unwrap();
+            let mut sm = SnapshotManager::new();
+            let rbox = RecoveryBox {
+                start: Pfn(g.u64(0..8)),
+                frames: g.u64(0..3),
+            };
+            sm.register_recovery_box(dom, rbox);
+            for pfn in 0..8u64 {
+                mem.write(dom, Pfn(pfn), format!("init{pfn}").as_bytes())
+                    .unwrap();
+            }
+            // Shadow of the old implementation: eagerly copy every page
+            // at snapshot time.
+            let eager: Vec<Vec<u8>> = (0..8)
+                .map(|p| mem.read(dom, Pfn(p)).unwrap().to_vec())
+                .collect();
+            sm.snapshot(dom, &mut mem, 0).unwrap();
+            let writes = g.vec(0..24, |g| {
+                (g.u64(0..8), g.vec(0..16, |g| g.u64(0..256) as u8))
+            });
+            for (pfn, data) in &writes {
+                mem.write(dom, Pfn(*pfn), data).unwrap();
+            }
+            let post: Vec<Vec<u8>> = (0..8)
+                .map(|p| mem.read(dom, Pfn(p)).unwrap().to_vec())
+                .collect();
+            sm.rollback(dom, &mut mem).unwrap();
+            for pfn in 0..8u64 {
+                let expect = if rbox.contains(Pfn(pfn)) {
+                    &post[pfn as usize]
+                } else {
+                    &eager[pfn as usize]
+                };
+                assert_eq!(
+                    &mem.read(dom, Pfn(pfn)).unwrap().to_vec(),
+                    expect,
+                    "pfn {pfn} diverges from the eager-copy shadow"
                 );
             }
         });

@@ -132,45 +132,38 @@ impl XenStoreLogic {
     }
 
     /// Simulates a microreboot of Logic: all volatile state is discarded
-    /// and then recovered from State. Privileged-connection marks are
-    /// restored from `privileged` (they come from the boot configuration,
-    /// not from the store).
-    pub fn restart(&mut self, state: &mut XenStoreState) {
-        let privileged = std::mem::take(&mut self.privileged);
-        let quotas = self.quotas;
-        let restarts = self.restarts + 1;
-        *self = XenStoreLogic::with_quotas(quotas);
-        self.privileged = privileged;
-        self.restarts = restarts;
+    /// in place (keeping the map/registry allocations — this is the
+    /// Figure 5.1 per-request fast path, so a restart must not pay a
+    /// round of reallocation) and then recovered from State's
+    /// incrementally-maintained indexes. Privileged-connection marks
+    /// survive: they come from the boot configuration, not the store.
+    pub fn restart(&mut self, state: &XenStoreState) {
+        self.watches.clear();
+        self.txns.clear();
+        self.next_txn = 1;
+        self.node_counts.clear();
+        self.requests_this_epoch = 0;
+        self.restarts += 1;
         self.recover(state);
     }
 
     /// Rebuilds watch registrations and quota accounting from State.
-    pub fn recover(&mut self, state: &mut XenStoreState) {
-        // Recover node quota accounting.
-        if let KvReply::Keys(keys) = state.serve(KvRequest::ListSubtree("/".into())) {
-            for key in keys {
-                if key.starts_with(WATCH_JOURNAL) {
-                    continue;
-                }
-                if let KvReply::Record(Some(rec)) = state.serve(KvRequest::Get(key)) {
-                    *self.node_counts.entry(rec.perms.owner).or_insert(0) += 1;
-                }
-            }
+    ///
+    /// Quota accounting is copied straight out of State's per-owner node
+    /// index — O(owners), not O(store) — and journaled watches are read
+    /// by reference from the `/@watch/...` range, so recovery performs no
+    /// per-key protocol round trips and clones no record values.
+    pub fn recover(&mut self, state: &XenStoreState) {
+        for (&owner, &count) in state.owner_counts() {
+            self.node_counts.insert(owner, count as usize);
         }
-        // Recover journaled watches (without the synthetic initial fire —
-        // the watcher already received it when it registered).
-        if let KvReply::Keys(keys) = state.serve(KvRequest::ListSubtree(WATCH_JOURNAL.into())) {
-            for key in keys {
-                if let KvReply::Record(Some(rec)) = state.serve(KvRequest::Get(key.clone())) {
-                    if let Ok(journal) = std::str::from_utf8(&rec.value) {
-                        if let Some((dom, path, token)) = parse_watch_journal(journal) {
-                            if let Ok(p) = XsPath::parse(&path) {
-                                self.watches.register(dom, p, token);
-                                // Drop the synthetic event re-registration queued.
-                                let _ = self.watches.poll(dom);
-                            }
-                        }
+        // Registered without the synthetic initial fire — the watcher
+        // already received it when it registered.
+        for (_key, rec) in state.entries_under(WATCH_JOURNAL) {
+            if let Ok(journal) = std::str::from_utf8(&rec.value) {
+                if let Some((dom, path, token)) = parse_watch_journal(journal) {
+                    if let Ok(p) = XsPath::parse(path) {
+                        self.watches.register_recovered(dom, p, token.to_string());
                     }
                 }
             }
@@ -720,11 +713,13 @@ fn sanitize_token(token: &str) -> String {
         .collect()
 }
 
-fn parse_watch_journal(s: &str) -> Option<(DomId, String, String)> {
+/// Splits a `dom|path|token` journal value into borrowed pieces (the
+/// caller decides what it needs to own — restart-path clone burndown).
+fn parse_watch_journal(s: &str) -> Option<(DomId, &str, &str)> {
     let mut it = s.splitn(3, '|');
     let dom: u32 = it.next()?.parse().ok()?;
-    let path = it.next()?.to_string();
-    let token = it.next()?.to_string();
+    let path = it.next()?;
+    let token = it.next()?;
     Some((DomId(dom), path, token))
 }
 

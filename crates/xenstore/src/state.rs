@@ -14,7 +14,14 @@
 
 use std::collections::BTreeMap;
 
+use xoar_hypervisor::DomId;
+
 use crate::perm::NodePerms;
+
+/// Reserved key prefix for Logic-journaled metadata (watch registrations
+/// and the like). Entries under it are store-visible but excluded from
+/// the per-owner node index: they are bookkeeping, not guest data.
+const RESERVED_PREFIX: &str = "/@";
 
 /// A stored node record: value bytes, permissions, and a generation
 /// counter bumped on every mutation (used for transaction conflict
@@ -75,14 +82,78 @@ pub struct XenStoreState {
     /// is an argument, volume is a metric). Tolerated as missing on
     /// recovery so pre-counter persisted blobs still load.
     ops_served: u64,
+    /// Incrementally-maintained per-owner live node counts, excluding the
+    /// reserved `/@...` namespace. This is the index a restarting Logic
+    /// rebuilds its quota accounting from in O(owners) instead of
+    /// re-scanning (and re-cloning) every record in the store. Derived
+    /// state: never serialised, rebuilt on [`XenStoreState::recover`].
+    owner_counts: BTreeMap<DomId, u64>,
 }
 
-xoar_codec::impl_json_struct!(XenStoreState { map, generation, [default] ops_served });
+// Hand-written codec impls (instead of `impl_json_struct!`) so the
+// derived `owner_counts` index stays out of the persisted form — the
+// blob layout is byte-identical to the pre-index format, and decoding
+// rebuilds the index from the map.
+impl xoar_codec::ToJson for XenStoreState {
+    fn to_json(&self) -> xoar_codec::Json {
+        xoar_codec::Json::Obj(vec![
+            ("map".to_string(), xoar_codec::ToJson::to_json(&self.map)),
+            (
+                "generation".to_string(),
+                xoar_codec::ToJson::to_json(&self.generation),
+            ),
+            (
+                "ops_served".to_string(),
+                xoar_codec::ToJson::to_json(&self.ops_served),
+            ),
+        ])
+    }
+}
+
+impl xoar_codec::FromJson for XenStoreState {
+    fn from_json(value: &xoar_codec::Json) -> Result<Self, xoar_codec::JsonError> {
+        let members = value
+            .as_obj()
+            .ok_or_else(|| xoar_codec::JsonError::expected("object", "XenStoreState"))?;
+        let mut state = XenStoreState {
+            map: xoar_codec::field(members, "map")?,
+            generation: xoar_codec::field(members, "generation")?,
+            ops_served: xoar_codec::field_or_default(members, "ops_served")?,
+            owner_counts: BTreeMap::new(),
+        };
+        state.rebuild_owner_index();
+        Ok(state)
+    }
+}
 
 impl XenStoreState {
     /// Creates an empty State.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn index_add(&mut self, owner: DomId) {
+        *self.owner_counts.entry(owner).or_insert(0) += 1;
+    }
+
+    fn index_remove(&mut self, owner: DomId) {
+        if let Some(c) = self.owner_counts.get_mut(&owner) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.owner_counts.remove(&owner);
+            }
+        }
+    }
+
+    /// Recomputes the owner index from the map (blob recovery only; the
+    /// serving path maintains it incrementally).
+    fn rebuild_owner_index(&mut self) {
+        self.owner_counts.clear();
+        for (key, rec) in &self.map {
+            if !key.starts_with(RESERVED_PREFIX) {
+                *self.owner_counts.entry(rec.perms.owner).or_insert(0) += 1;
+            }
+        }
     }
 
     /// Serves one request of the narrow protocol.
@@ -93,12 +164,24 @@ impl XenStoreState {
             KvRequest::Put(key, mut rec) => {
                 self.generation += 1;
                 rec.generation = self.generation;
-                self.map.insert(key, rec);
+                let indexed = !key.starts_with(RESERVED_PREFIX);
+                let owner = rec.perms.owner;
+                if let Some(old) = self.map.insert(key, rec) {
+                    if indexed {
+                        self.index_remove(old.perms.owner);
+                    }
+                }
+                if indexed {
+                    self.index_add(owner);
+                }
                 KvReply::Done
             }
             KvRequest::Delete(key) => {
-                if self.map.remove(&key).is_some() {
+                if let Some(old) = self.map.remove(&key) {
                     self.generation += 1;
+                    if !key.starts_with(RESERVED_PREFIX) {
+                        self.index_remove(old.perms.owner);
+                    }
                 }
                 KvReply::Done
             }
@@ -147,6 +230,27 @@ impl XenStoreState {
     /// Direct record access for assertions in tests and audit tooling.
     pub fn peek(&self, key: &str) -> Option<&NodeRecord> {
         self.map.get(key)
+    }
+
+    /// The incrementally-maintained per-owner node-count index (reserved
+    /// `/@...` entries excluded). A restarting Logic copies its quota
+    /// accounting straight out of this instead of scanning the store.
+    pub fn owner_counts(&self) -> &BTreeMap<DomId, u64> {
+        &self.owner_counts
+    }
+
+    /// Iterates the records whose keys start with `prefix`, by reference
+    /// (a range scan over the sorted map: no key list is materialised and
+    /// no values are cloned). Restart support: Logic rebuilds its watch
+    /// registry from the `/@watch/...` entries this yields.
+    pub fn entries_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a String, &'a NodeRecord)> + 'a {
+        use std::ops::Bound;
+        self.map
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
     }
 
     /// Serialises the whole State for disk persistence — §7.1: "XenStore
@@ -259,6 +363,50 @@ mod tests {
     }
 
     #[test]
+    fn owner_index_tracks_puts_deletes_and_owner_changes() {
+        let mut s = XenStoreState::new();
+        let a = DomId(1);
+        let b = DomId(2);
+        let mut ra = rec("x");
+        ra.perms = NodePerms::owner_only(a);
+        let mut rb = rec("y");
+        rb.perms = NodePerms::owner_only(b);
+        s.serve(KvRequest::Put("/n1".into(), ra.clone()));
+        s.serve(KvRequest::Put("/n2".into(), ra.clone()));
+        assert_eq!(s.owner_counts().get(&a), Some(&2));
+        // Replacing a record with a different owner moves the charge.
+        s.serve(KvRequest::Put("/n2".into(), rb.clone()));
+        assert_eq!(s.owner_counts().get(&a), Some(&1));
+        assert_eq!(s.owner_counts().get(&b), Some(&1));
+        // Deletes drain the index; zero-count owners drop out entirely.
+        s.serve(KvRequest::Delete("/n1".into()));
+        s.serve(KvRequest::Delete("/n2".into()));
+        assert!(s.owner_counts().is_empty());
+    }
+
+    #[test]
+    fn reserved_namespace_excluded_from_owner_index() {
+        let mut s = XenStoreState::new();
+        s.serve(KvRequest::Put("/@watch/7/tok".into(), rec("7|/a|tok")));
+        assert!(s.owner_counts().is_empty(), "journal keys are not charged");
+        assert_eq!(
+            s.entries_under("/@watch").count(),
+            1,
+            "but they are reachable through the range scan"
+        );
+    }
+
+    #[test]
+    fn entries_under_respects_prefix_bounds() {
+        let mut s = XenStoreState::new();
+        for k in ["/a", "/a/b", "/ab", "/b"] {
+            s.serve(KvRequest::Put(k.into(), rec("v")));
+        }
+        let keys: Vec<&str> = s.entries_under("/a").map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["/a", "/a/b", "/ab"], "raw prefix match");
+    }
+
+    #[test]
     fn ops_counter_tracks_protocol_traffic() {
         let mut s = XenStoreState::new();
         s.serve(KvRequest::Generation);
@@ -291,6 +439,17 @@ mod persistence_tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.peek("/a").unwrap().value, b"alpha");
         assert_eq!(r.generation(), s.generation());
+    }
+
+    #[test]
+    fn recover_rebuilds_owner_index() {
+        let mut s = XenStoreState::new();
+        s.serve(KvRequest::Put("/a".into(), rec2("alpha")));
+        s.serve(KvRequest::Put("/a/b".into(), rec2("beta")));
+        s.serve(KvRequest::Put("/@watch/0/t".into(), rec2("0|/a|t")));
+        let r = XenStoreState::recover(&s.persist()).unwrap();
+        assert_eq!(r.owner_counts(), s.owner_counts());
+        assert_eq!(r.owner_counts().get(&DomId(0)), Some(&2));
     }
 
     #[test]

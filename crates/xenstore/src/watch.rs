@@ -70,6 +70,31 @@ impl WatchRegistry {
         true
     }
 
+    /// Re-registers a watch recovered from the State journal: no
+    /// synthetic initial event is queued (the watcher already received
+    /// one when it registered in a previous Logic epoch) and no fire is
+    /// counted. Duplicates are still rejected.
+    pub fn register_recovered(&mut self, dom: DomId, path: XsPath, token: String) -> bool {
+        if self
+            .watches
+            .iter()
+            .any(|w| w.dom == dom && w.path == path && w.token == token)
+        {
+            return false;
+        }
+        self.watches.push(Watch { dom, path, token });
+        true
+    }
+
+    /// Drops every registration, pending event, and the fired counter,
+    /// keeping the allocations (Logic microreboot support: the registry
+    /// is rebuilt from the State journal without reallocating).
+    pub fn clear(&mut self) {
+        self.watches.clear();
+        self.pending.clear();
+        self.fired = 0;
+    }
+
     /// Removes a watch. Returns whether one was removed.
     pub fn unregister(&mut self, dom: DomId, path: &XsPath, token: &str) -> bool {
         let before = self.watches.len();

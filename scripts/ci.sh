@@ -13,18 +13,23 @@ cargo test -q --offline
 
 # Bench gate: run the deterministic harnesses and keep their
 # machine-readable tails (the harness prints one JSON document as the
-# last stdout line) as committed perf baselines at the repo root. The
-# fresh microbench run is compared against the committed baseline
-# BEFORE it replaces it: bench-gate fails on any hot-path entry whose
-# median regressed by more than 2x.
+# last stdout line) as committed perf baselines at the repo root. Each
+# fresh run is compared against the committed baseline BEFORE it
+# replaces it: bench-gate fails on any hot-path entry whose median
+# regressed by more than 2x, and on any restart-path entry whose p95
+# tail exceeds 6x its own median.
 fresh_microbench="$(mktemp)"
-trap 'rm -f "$fresh_microbench"' EXIT
+fresh_ablation="$(mktemp)"
+trap 'rm -f "$fresh_microbench" "$fresh_ablation"' EXIT
 cargo bench --offline -p xoar-bench --bench microbench | tail -n 1 > "$fresh_microbench"
 cargo run --release --offline -p xoar-bench --bin bench_gate -- \
     BENCH_microbench.json "$fresh_microbench"
 mv "$fresh_microbench" BENCH_microbench.json
+cargo bench --offline -p xoar-bench --bench ablation | tail -n 1 > "$fresh_ablation"
+cargo run --release --offline -p xoar-bench --bin bench_gate -- \
+    --set=ablation BENCH_ablation.json "$fresh_ablation"
+mv "$fresh_ablation" BENCH_ablation.json
 trap - EXIT
-cargo bench --offline -p xoar-bench --bench ablation | tail -n 1 > BENCH_ablation.json
 echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
 
 # Analysis gate: Pass A (model-level privilege-flow audit over the
