@@ -164,10 +164,15 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
         );
         ok = false;
     }
+    // Injections 1 and 2 also bypass the hypervisor's cross-region
+    // ledger (no `CrossRegionOp` ever declared the NetBack's blanket
+    // reach or the smuggled grant), so the region-accounting rule must
+    // fire alongside the privilege rules.
     for expected in [
         "only-builder-blanket",
         "backend-grant-only",
         "undeclared-sharing",
+        "no-undeclared-cross-region-access",
     ] {
         if rules_fired.contains(&expected) {
             println!("selftest: {expected} fired as expected");

@@ -1,7 +1,7 @@
 //! Token-level source linter for the workspace's layering rules.
 //!
 //! Zero dependencies and no rustc: a comment/string-aware stripper turns
-//! each source file into a token-safe skeleton, and three rules scan it:
+//! each source file into a token-safe skeleton, and four rules scan it:
 //!
 //! * **`no-panic`** — non-test code in `crates/hypervisor/src` must not
 //!   call `.unwrap()` / `.expect(…)` or expand `panic!` /
@@ -13,6 +13,13 @@
 //!   hypervisor's `mem` field only through the read-side helpers;
 //!   everything that *mutates* memory or grant state must go through
 //!   the hypercall layer where access control lives.
+//! * **`region-isolation`** — the split-borrow primitives that hold two
+//!   domains' state regions at once (`region_pair_mut`,
+//!   `object_region_mut`) may be invoked only from the typed
+//!   `CrossRegionOp` module (`xregion.rs`), and the per-domain `regions`
+//!   map may be poked only there and in `hypervisor.rs` (which owns the
+//!   field); everyone else reaches another domain's region through a
+//!   hypercall or a `Hypervisor` facade method.
 //! * **`dispatch-exhaustive`** — the `HypercallId` bookkeeping tables
 //!   (`ALL`, the JSON codec, `name()`, the privileged/unprivileged
 //!   partition) and the `Hypercall` dispatcher in `hypervisor.rs` must
@@ -441,6 +448,56 @@ fn rule_boundary(file: &SourceFile, stripped: &str, out: &mut Vec<LintFinding>) 
 }
 
 // ---------------------------------------------------------------------
+// Rule: region-isolation (per-domain state regions stay behind the
+// typed cross-region module).
+// ---------------------------------------------------------------------
+
+/// The split-borrow primitives that hold two domains' state regions at
+/// once. Only the `CrossRegionOp` module may invoke them — every other
+/// caller must name a typed cross-region operation instead.
+const REGION_PAIR_PRIMITIVES: [&str; 2] = ["region_pair_mut", "object_region_mut"];
+
+fn rule_region(file: &SourceFile, stripped: &str, out: &mut Vec<LintFinding>) {
+    let is_xregion = file.path == "crates/hypervisor/src/xregion.rs";
+    // `hypervisor.rs` owns the `regions` field and hands it to xregion;
+    // everyone else goes through hypercalls or the facade methods.
+    let owns_map = is_xregion || file.path == "crates/hypervisor/src/hypervisor.rs";
+    if is_xregion {
+        return;
+    }
+    let spans = test_spans(stripped);
+    let bytes = stripped.as_bytes();
+    for &(off, ident) in &idents(stripped) {
+        if in_spans(&spans, off) {
+            continue;
+        }
+        if REGION_PAIR_PRIMITIVES.contains(&ident) {
+            out.push(LintFinding {
+                file: file.path.clone(),
+                line: line_of(stripped, off),
+                rule: "region-isolation",
+                excerpt: excerpt_at(&file.content, off),
+                msg: format!(
+                    "`{ident}` borrows two domains' state regions at once; only the \
+                     CrossRegionOp module (xregion.rs) may do that"
+                ),
+            });
+        }
+        if ident == "regions" && off > 0 && bytes[off - 1] == b'.' && !owns_map {
+            out.push(LintFinding {
+                file: file.path.clone(),
+                line: line_of(stripped, off),
+                rule: "region-isolation",
+                excerpt: excerpt_at(&file.content, off),
+                msg: "direct access to the per-domain region map; use a hypercall or a \
+                      Hypervisor facade method"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: dispatch-exhaustive (cross-file, hypercall.rs + hypervisor.rs).
 // ---------------------------------------------------------------------
 
@@ -648,6 +705,7 @@ pub fn lint_sources(files: &[SourceFile]) -> Vec<LintFinding> {
         let stripped = strip_code(&f.content);
         rule_no_panic(f, &stripped, &mut out);
         rule_boundary(f, &stripped, &mut out);
+        rule_region(f, &stripped, &mut out);
     }
     rule_dispatch(files, &mut out);
     out.sort();
@@ -825,6 +883,43 @@ mod tests {
             "fn f(p: &mut P) { p.hv.mem.read(g, Pfn(1)); p.hv.mem.share_identical(); }",
         );
         assert_eq!(lint_sources(&[ok]), vec![]);
+    }
+
+    #[test]
+    fn region_isolation_flags_split_borrows_outside_xregion() {
+        let body = "fn f(hv: &mut Hypervisor) { let (a, b) = region_pair_mut(hv, x, y); }";
+        let bad = file("crates/hypervisor/src/event.rs", body);
+        let v = lint_sources(&[bad]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "region-isolation");
+        assert!(v[0].msg.contains("region_pair_mut"), "{v:?}");
+        // The identical content under the CrossRegionOp module is fine.
+        let ok = file("crates/hypervisor/src/xregion.rs", body);
+        assert_eq!(lint_sources(&[ok]), vec![]);
+    }
+
+    #[test]
+    fn region_isolation_flags_region_map_pokes() {
+        let bad = file(
+            "crates/core/src/x.rs",
+            "fn f(hv: &mut Hypervisor) { hv.regions.get_mut(&dom).unwrap().ports.clear(); }",
+        );
+        let v = lint_sources(&[bad]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "region-isolation");
+        assert!(v[0].msg.contains("region map"), "{v:?}");
+        // hypervisor.rs owns the field; bare `regions` idents (locals,
+        // parameters) and test code are not field pokes.
+        let owner = file(
+            "crates/hypervisor/src/hypervisor.rs",
+            "fn f(&mut self) { self.regions.clear(); }",
+        );
+        let local = file(
+            "crates/core/src/y.rs",
+            "fn f(regions: usize) -> usize { regions + 1 }\n\
+             #[cfg(test)]\nmod tests {\n    fn t(hv: &mut H) { hv.regions.len(); }\n}\n",
+        );
+        assert_eq!(lint_sources(&[owner, local]), vec![]);
     }
 
     #[test]

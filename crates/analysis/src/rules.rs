@@ -13,6 +13,7 @@
 //! | `guest-noninterference` | no guest reaches another guest's memory except through a grant |
 //! | `undeclared-sharing` | guests grant frames only to shards delegated to them (or their stub/toolstack), and guests alias machine frames only under hypervisor-managed CoW (dedup or frozen snapshot baselines) |
 //! | `constraint-groups` | a shared backend never serves guests from different constraint groups |
+//! | `no-undeclared-cross-region-access` | every domain×domain edge in the reachability matrix (memory paths and event channels) is covered by a declared `CrossRegionOp` kind in the hypervisor's ledger |
 
 use std::collections::BTreeMap;
 
@@ -69,6 +70,7 @@ pub fn check(snap: &ModelSnapshot, reach: &Reachability) -> Vec<Violation> {
     guest_noninterference(snap, reach, &mut out);
     undeclared_sharing(snap, &mut out);
     constraint_groups(snap, &mut out);
+    no_undeclared_cross_region_access(snap, reach, &mut out);
     out.sort();
     out.dedup();
     out
@@ -235,6 +237,61 @@ fn undeclared_sharing(snap: &ModelSnapshot, out: &mut Vec<Violation>) {
                     ));
                 }
             }
+        }
+    }
+}
+
+/// Every edge the reachability matrix derives must trace back to a
+/// declared `CrossRegionOp`: the sharded hypervisor core records a
+/// `(kind, subject, object)` ledger entry whenever two state regions
+/// are named together, so an edge with no covering declaration means
+/// some path into another domain's region bypassed the typed
+/// cross-region module — exactly the coupling the region split exists
+/// to forbid.
+fn no_undeclared_cross_region_access(
+    snap: &ModelSnapshot,
+    reach: &Reachability,
+    out: &mut Vec<Violation>,
+) {
+    use std::collections::BTreeSet;
+    let declared: BTreeSet<(&str, DomId, DomId)> = snap
+        .declared
+        .iter()
+        .map(|(k, s, o)| (k.as_str(), *s, *o))
+        .collect();
+    for (&(accessor, owner), paths) in &reach.mem {
+        for p in paths {
+            let (kind, object) = match p {
+                MemPath::Grant { .. } => ("grant", owner),
+                MemPath::BlanketForeign => ("blanket", DomId(u32::MAX)),
+                MemPath::PrivilegedFor => ("foreign", owner),
+            };
+            if !declared.contains(&(kind, accessor, object)) {
+                out.push(Violation::new(
+                    "no-undeclared-cross-region-access",
+                    accessor,
+                    format!(
+                        "{} reaches {}'s region via {} with no declared {:?} cross-region op",
+                        accessor,
+                        owner,
+                        p.label(),
+                        kind
+                    ),
+                ));
+            }
+        }
+    }
+    for &(a, b) in &reach.signals {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if !declared.contains(&("event", lo, hi)) {
+            out.push(Violation::new(
+                "no-undeclared-cross-region-access",
+                lo,
+                format!(
+                    "event channel between {lo} and {hi} with no declared \
+                     \"event\" cross-region op"
+                ),
+            ));
         }
     }
 }
@@ -478,6 +535,59 @@ mod tests {
         // Same group: fine.
         snap.domains.get_mut(&DomId(11)).unwrap().constraint_group = Some("a".into());
         assert_eq!(run(&snap), vec![]);
+    }
+
+    #[test]
+    fn undeclared_cross_region_edges_are_flagged() {
+        // A grant edge injected behind the builders' backs (no ledger
+        // entry) — as if something wrote into another domain's grant
+        // table without going through the CrossRegionOp module.
+        let mut snap = known_good();
+        snap.grants.push(grant(11, 3, 9));
+        snap.grants.sort();
+        let v = run(&snap);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "no-undeclared-cross-region-access"
+                    && x.subject == DomId(3)
+                    && x.detail.contains("grant")),
+            "{v:?}"
+        );
+        // The same edge built through the declaring builder is clean.
+        let declared = known_good().with_grant(grant(11, 3, 9));
+        assert!(run(&declared)
+            .iter()
+            .all(|x| x.rule != "no-undeclared-cross-region-access"));
+    }
+
+    #[test]
+    fn undeclared_event_channel_is_flagged() {
+        let mut snap = known_good();
+        snap.channels.push((DomId(10), DomId(11)));
+        let v = run(&snap);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "no-undeclared-cross-region-access"
+                    && x.detail.contains("event channel")),
+            "{v:?}"
+        );
+        let declared = snap.with_declared("event", DomId(10), DomId(11));
+        assert!(run(&declared)
+            .iter()
+            .all(|x| x.rule != "no-undeclared-cross-region-access"));
+    }
+
+    #[test]
+    fn fixture_builders_declare_their_own_edges() {
+        // known_good has grants and a blanket-privileged builder; the
+        // builders must have declared them all.
+        assert_eq!(run(&known_good()), vec![]);
+        let mut fixture_stub = DomainInfo::fixture(DomId(6), "qemu", DomainRole::Shard);
+        fixture_stub.privileged_for.insert(DomId(10));
+        let snap = known_good().with_domain(fixture_stub);
+        assert!(run(&snap)
+            .iter()
+            .all(|x| x.rule != "no-undeclared-cross-region-access"));
     }
 
     #[test]

@@ -118,6 +118,13 @@ pub struct ModelSnapshot {
     /// Frames mapped by more than one domain, sorted by MFN, with their
     /// CoW/frozen provenance.
     pub shared_frames: Vec<SharedFrame>,
+    /// Cross-region operations the hypervisor has declared, as
+    /// `(kind, subject, object)` — the ledger the sharded core appends
+    /// to whenever a typed `CrossRegionOp` names two regions. `"event"`
+    /// edges are normalised with subject ≤ object; `"blanket"` uses
+    /// `DomId(u32::MAX)` as its object (any domain). Every edge in the
+    /// reachability matrix must be covered by one of these.
+    pub declared: BTreeSet<(String, DomId, DomId)>,
 }
 
 impl ModelSnapshot {
@@ -126,16 +133,35 @@ impl ModelSnapshot {
         Self::default()
     }
 
-    /// Adds a domain to a fixture snapshot.
+    /// Adds a domain to a fixture snapshot, declaring the cross-region
+    /// access its privilege flags imply (mirroring what the live
+    /// hypervisor derives for blanket and stub-domain access).
     pub fn with_domain(mut self, info: DomainInfo) -> Self {
+        if info.privileges.map_foreign_any {
+            self.declared
+                .insert(("blanket".to_string(), info.id, DomId(u32::MAX)));
+        }
+        for &owner in &info.privileged_for {
+            self.declared
+                .insert(("foreign".to_string(), info.id, owner));
+        }
         self.domains.insert(info.id, info);
         self
     }
 
-    /// Adds a grant edge to a fixture snapshot.
+    /// Adds a grant edge to a fixture snapshot, declaring it (a live
+    /// grant can only arise from a declared `CrossRegionOp`).
     pub fn with_grant(mut self, edge: GrantEdge) -> Self {
+        self.declared
+            .insert(("grant".to_string(), edge.grantee, edge.granter));
         self.grants.push(edge);
         self.grants.sort();
+        self
+    }
+
+    /// Declares a cross-region operation kind on a fixture snapshot.
+    pub fn with_declared(mut self, kind: &str, subject: DomId, object: DomId) -> Self {
+        self.declared.insert((kind.to_string(), subject, object));
         self
     }
 
@@ -184,7 +210,7 @@ impl ModelSnapshot {
         grants.sort();
         let mut channels: Vec<(DomId, DomId)> = Vec::new();
         for &a in domains.keys() {
-            for b in p.hv.events.peers_of(a) {
+            for b in p.hv.peers_of(a) {
                 channels.push(if a < b { (a, b) } else { (b, a) });
             }
         }
@@ -208,12 +234,18 @@ impl ModelSnapshot {
                     cow: true,
                 })
                 .collect();
+        let declared =
+            p.hv.declared_ops()
+                .into_iter()
+                .map(|(kind, subject, object)| (kind.to_string(), subject, object))
+                .collect();
         ModelSnapshot {
             domains,
             grants,
             channels,
             xenstore_privileged: p.xs.logic().privileged_domains(),
             shared_frames,
+            declared,
         }
     }
 
@@ -278,9 +310,10 @@ impl ModelSnapshot {
             ));
         }
         out.push_str(&format!(
-            "grants={} channels={} xenstore_privileged={:?} shared_frames={} (cow={} frozen={})\n",
+            "grants={} channels={} declared_ops={} xenstore_privileged={:?} shared_frames={} (cow={} frozen={})\n",
             self.grants.len(),
             self.channels.len(),
+            self.declared.len(),
             self.xenstore_privileged
                 .iter()
                 .map(|d| d.0)

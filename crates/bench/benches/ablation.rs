@@ -20,6 +20,7 @@ use xoar_core::platform::{GuestConfig, Platform, PlatformMode, XoarConfig};
 use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
 use xoar_hypervisor::privilege::{IoPortRange, MmioRange};
 use xoar_hypervisor::{DomId, Hypercall, HypercallId, PrivilegeSet};
+use xoar_sim::workloads::smp::SmpWorkload;
 use xoar_xenstore::XenStore;
 
 fn bench_privilege_checks(h: &mut Harness) {
@@ -126,6 +127,30 @@ fn bench_boot_plans(h: &mut Harness) {
     group.finish();
 }
 
+fn bench_vcpu_scaling(h: &mut Harness) {
+    // Fixed work — 256 XenStore-style requests from a 4-vcpu guest —
+    // completed over 1, 2 and 4 runqueues. The rounds needed shrink as
+    // runqueues grow (256/128/64 scheduling ticks), so the entries
+    // record what the multi-runqueue scheduler buys per unit of work;
+    // the simulated ops-per-tick scaling itself is asserted in
+    // `tests/sharding.rs`.
+    let mut group = h.group("ablation/vcpu_scaling");
+    group.sample_size(20);
+    for (label, runqueues, rounds) in [("rq1", 1, 256), ("rq2", 2, 128), ("rq4", 4, 64)] {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let mut cfg = GuestConfig::evaluation_guest("smp");
+        cfg.vcpus = 4;
+        let g = p.create_guest(ts, cfg).unwrap();
+        let w = SmpWorkload::prepare(&mut p, g);
+        group.bench_function(label, || {
+            let res = w.run(&mut p, black_box(runqueues), rounds);
+            assert_eq!(res.ops, 256, "fixed work unit");
+        });
+    }
+    group.finish();
+}
+
 fn bench_platform_construction(h: &mut Harness) {
     let mut group = h.group("ablation/platform_construction");
     group.sample_size(20);
@@ -157,6 +182,7 @@ fn main() {
     bench_xenstore_split(&mut h);
     bench_restart_paths(&mut h);
     bench_boot_plans(&mut h);
+    bench_vcpu_scaling(&mut h);
     bench_platform_construction(&mut h);
     h.emit_json();
 }

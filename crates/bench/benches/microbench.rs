@@ -14,6 +14,7 @@ use xoar_devices::blk::BlkOp;
 use xoar_devices::ring::Ring;
 use xoar_hypervisor::grant::GrantAccess;
 use xoar_hypervisor::memory::{MemoryManager, PageRef, Pfn};
+use xoar_hypervisor::sched::{RunQueues, VcpuRef};
 use xoar_hypervisor::{DomId, Hypercall};
 use xoar_xenstore::XenStore;
 
@@ -43,17 +44,54 @@ fn bench_events(h: &mut Harness) {
         p.hv.hypercall(g, Hypercall::EvtchnAllocUnbound { remote: nb })
             .unwrap()
             .port();
-    p.hv.hypercall(
-        nb,
-        Hypercall::EvtchnBindInterdomain {
-            remote: g,
-            remote_port: port,
-        },
-    )
-    .unwrap();
+    let nb_port =
+        p.hv.hypercall(
+            nb,
+            Hypercall::EvtchnBindInterdomain {
+                remote: g,
+                remote_port: port,
+            },
+        )
+        .unwrap()
+        .port();
     h.bench_function("evtchn/send_poll", || {
         p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
-        p.hv.events.poll(black_box(nb)).unwrap();
+        p.hv.poll_event(black_box(nb)).unwrap();
+    });
+    // The full cross-region signalling round trip: each direction takes
+    // the typed CrossRegionOp path through the two-region split borrow,
+    // then both pending bitmaps are drained.
+    let mut drained = Vec::new();
+    h.bench_function("evtchn/cross_region_send", || {
+        p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
+        p.hv.hypercall(nb, Hypercall::EvtchnSend { port: nb_port })
+            .unwrap();
+        p.hv.drain_pending_into(black_box(nb), &mut drained);
+        p.hv.drain_pending_into(black_box(g), &mut drained);
+        drained.clear();
+    });
+}
+
+fn bench_runqueues(h: &mut Harness) {
+    let (p, g) = platform_with_guest();
+    // Eight vcpus spread over four runqueues: pick from a non-empty
+    // local queue, then the steady-state steal (queue 1 empty, queue 0
+    // holding surplus).
+    let mut rq = RunQueues::new(4);
+    for v in 0..8u32 {
+        rq.enqueue(v as usize % 4, VcpuRef { dom: g, vcpu: v });
+    }
+    h.bench_function("sched/runqueue_pick_next", || {
+        let v = rq.pick_next(black_box(0), &p.hv.sched).unwrap();
+        rq.enqueue(0, v);
+    });
+    let mut rq = RunQueues::new(2);
+    for v in 0..3u32 {
+        rq.enqueue(0, VcpuRef { dom: g, vcpu: v });
+    }
+    h.bench_function("sched/steal", || {
+        let v = rq.steal(black_box(1)).unwrap();
+        rq.enqueue(0, v);
     });
 }
 
@@ -193,10 +231,7 @@ fn bench_batched_paths(h: &mut Harness) {
             p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
         }
         drained.clear();
-        assert_eq!(
-            p.hv.events.drain_pending_into(black_box(nb), &mut drained),
-            1
-        );
+        assert_eq!(p.hv.drain_pending_into(black_box(nb), &mut drained), 1);
     });
 
     // Sixteen block writes in one ring push + one trailing notify.
@@ -308,6 +343,7 @@ fn main() {
     let mut h = Harness::new();
     bench_hypercalls(&mut h);
     bench_events(&mut h);
+    bench_runqueues(&mut h);
     bench_grants(&mut h);
     bench_ring_round_trip(&mut h);
     bench_batched_paths(&mut h);

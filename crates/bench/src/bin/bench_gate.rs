@@ -22,9 +22,12 @@ use xoar_codec::{parse, Json};
 /// Entries the microbench gate enforces: the per-op and batched
 /// data-path costs the perf argument rests on, plus the microreboot
 /// fast paths.
-const MICRO_HOT_PATHS: [&str; 11] = [
+const MICRO_HOT_PATHS: [&str; 14] = [
     "hypercall/sched_yield",
     "evtchn/send_poll",
+    "evtchn/cross_region_send",
+    "sched/runqueue_pick_next",
+    "sched/steal",
     "grant/map_unmap",
     "blk/submit_process_poll",
     "net/transmit_process",
@@ -38,12 +41,26 @@ const MICRO_HOT_PATHS: [&str; 11] = [
 
 /// Entries the ablation gate enforces: the Figure 5.1 per-request
 /// restart overhead and the slow/fast driver-restart paths of §6.1.2.
-const ABLATION_HOT_PATHS: [&str; 4] = [
+const ABLATION_HOT_PATHS: [&str; 7] = [
     "ablation/xenstore_split/request_no_restart",
     "ablation/xenstore_split/request_with_per_request_restart",
     "ablation/restart_paths/slow",
     "ablation/restart_paths/fast",
+    "ablation/vcpu_scaling/rq1",
+    "ablation/vcpu_scaling/rq2",
+    "ablation/vcpu_scaling/rq4",
 ];
+
+/// Fresh-run self-comparison rules for the ablation set: `(faster,
+/// slower)` pairs whose medians must satisfy `faster <= slower` within
+/// the same run. Baselines drift with the host; a within-run ordering
+/// does not, so these encode claims the numbers must never invert —
+/// the parallel Xoar boot DAG regressing past the serial Dom0 chain
+/// was exactly such an inversion.
+const ABLATION_ORDERINGS: [(&str, &str); 1] = [(
+    "ablation/boot_plans/parallel_xoar",
+    "ablation/boot_plans/serial_dom0",
+)];
 
 /// Entries whose p95 tail is bounded relative to their own median.
 const TAIL_PATHS: [&str; 4] = [
@@ -183,12 +200,44 @@ fn gate(hot_paths: &[&str], baseline: &[Entry], fresh: &[Entry]) -> bool {
     failed
 }
 
+/// Applies the within-run ordering rules; returns whether any failed.
+fn orderings(rules: &[(&str, &str)], fresh: &[Entry]) -> bool {
+    let mut failed = false;
+    for &(faster, slower) in rules {
+        let (Some(a), Some(b)) = (find(fresh, faster), find(fresh, slower)) else {
+            eprintln!(
+                "bench-gate: FAIL ordering {faster} <= {slower}: entry missing from fresh run"
+            );
+            failed = true;
+            continue;
+        };
+        if a.median_ns <= b.median_ns {
+            println!(
+                "bench-gate: ok   ordering {faster} ({:.1} ns) <= {slower} ({:.1} ns)",
+                a.median_ns, b.median_ns
+            );
+        } else {
+            eprintln!(
+                "bench-gate: FAIL ordering {faster} ({:.1} ns) > {slower} ({:.1} ns)",
+                a.median_ns, b.median_ns
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let (hot_paths, baseline_path, fresh_path): (&[&str], &str, &str) = match &args[1..] {
-        [b, f] => (&MICRO_HOT_PATHS, b, f),
-        [set, b, f] if set == "--set=micro" => (&MICRO_HOT_PATHS, b, f),
-        [set, b, f] if set == "--set=ablation" => (&ABLATION_HOT_PATHS, b, f),
+    let (hot_paths, order_rules, baseline_path, fresh_path): (
+        &[&str],
+        &[(&str, &str)],
+        &str,
+        &str,
+    ) = match &args[1..] {
+        [b, f] => (&MICRO_HOT_PATHS, &[], b, f),
+        [set, b, f] if set == "--set=micro" => (&MICRO_HOT_PATHS, &[], b, f),
+        [set, b, f] if set == "--set=ablation" => (&ABLATION_HOT_PATHS, &ABLATION_ORDERINGS, b, f),
         _ => {
             eprintln!(
                 "usage: bench-gate [--set=micro|--set=ablation] <baseline.json> <fresh.json>"
@@ -203,7 +252,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if gate(hot_paths, &baseline, &fresh) {
+    let gate_failed = gate(hot_paths, &baseline, &fresh);
+    let order_failed = orderings(order_rules, &fresh);
+    if gate_failed || order_failed {
         ExitCode::FAILURE
     } else {
         println!("bench-gate: no hot-path regression beyond {MAX_RATIO}x");
@@ -302,6 +353,22 @@ mod tests {
         let baseline = vec![entry(name, 100.0, 120.0)];
         let spiky = vec![entry(name, 90.0, 900.0)];
         assert!(!gate(&[name], &baseline, &spiky));
+    }
+
+    #[test]
+    fn ordering_rule_catches_inversion() {
+        let (fast, slow) = ABLATION_ORDERINGS[0];
+        let good = vec![entry(fast, 900.0, 1000.0), entry(slow, 1300.0, 1400.0)];
+        let inverted = vec![entry(fast, 1300.0, 1400.0), entry(slow, 900.0, 1000.0)];
+        assert!(!orderings(&ABLATION_ORDERINGS, &good));
+        assert!(orderings(&ABLATION_ORDERINGS, &inverted));
+    }
+
+    #[test]
+    fn ordering_rule_fails_on_missing_entries() {
+        let (fast, _) = ABLATION_ORDERINGS[0];
+        assert!(orderings(&ABLATION_ORDERINGS, &[entry(fast, 1.0, 2.0)]));
+        assert!(orderings(&ABLATION_ORDERINGS, &[]));
     }
 
     #[test]

@@ -1123,10 +1123,7 @@ impl Platform {
         }
 
         // 2. The hypervisor restart: volatile channel state vanishes.
-        self.hv.events = xoar_hypervisor::event::EventChannels::new();
-        for id in self.hv.domain_ids() {
-            self.hv.events.register_domain(id);
-        }
+        self.hv.reset_event_channels();
         self.net_hub = NetRingHub::new();
         self.blk_hub = BlkRingHub::new();
 
@@ -1568,7 +1565,7 @@ mod rehype_tests {
 
         // The event channels are fresh (new hypervisor): ports reconnect.
         let conn = p.guest(g1).unwrap().netfront.as_ref().unwrap().conn;
-        assert!(p.hv.events.is_connected(g1, conn.front_port));
+        assert!(p.hv.event_connected(g1, conn.front_port));
         // And the audit log recorded the platform upgrade.
         assert!(p.audit.records().iter().any(|r| matches!(
             r.event,

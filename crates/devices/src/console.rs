@@ -195,7 +195,7 @@ mod tests {
             .unwrap()
             .port();
         assert!(cm.send_input(&mut hv, guest, b"ls\n"));
-        assert_eq!(hv.events.poll(guest).unwrap().port, port);
+        assert_eq!(hv.poll_event(guest).unwrap().port, port);
         assert_eq!(cm.take_input(guest), b"ls\n");
         assert!(cm.take_input(guest).is_empty());
     }

@@ -479,7 +479,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(hv.events.poll(backend).is_some());
+        assert!(hv.poll_event(backend).is_some());
     }
 
     #[test]

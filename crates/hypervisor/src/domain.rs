@@ -196,12 +196,18 @@ impl Domain {
         self.vcpus = (0..n.max(1)).map(Vcpu::new).collect();
     }
 
-    /// Marks the domain runnable, bringing VCPU 0 online.
+    /// Marks the domain runnable, bringing every configured VCPU online
+    /// (a multi-vcpu guest occupies several runqueue slots at once).
     pub fn unpause(&mut self) {
         self.state = DomainState::Running;
-        if let Some(v) = self.vcpus.first_mut() {
+        for v in &mut self.vcpus {
             v.online = true;
         }
+    }
+
+    /// References to this domain's online VCPUs, for runqueue placement.
+    pub fn online_vcpus(&self) -> impl Iterator<Item = u32> + '_ {
+        self.vcpus.iter().filter(|v| v.online).map(|v| v.id)
     }
 
     /// Whether `other` is allowed to manage this domain.
@@ -240,6 +246,15 @@ mod tests {
         assert_eq!(d.state, DomainState::Running);
         assert!(d.vcpus[0].online);
         assert!(d.state.can_issue_hypercalls());
+    }
+
+    #[test]
+    fn unpause_brings_all_vcpus_online() {
+        let mut d = Domain::new(DomId(3), "smp", DomainRole::Guest, 1024);
+        d.set_vcpus(4);
+        d.unpause();
+        assert!(d.vcpus.iter().all(|v| v.online));
+        assert_eq!(d.online_vcpus().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 
     #[test]

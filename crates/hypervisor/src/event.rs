@@ -12,13 +12,21 @@
 //! side A allocates an *unbound* port naming B as the permitted remote,
 //! passes the port number out of band, and B binds its own port to it.
 //!
+//! Since the state-region refactor the event-channel switch is no longer
+//! a system-wide table: each domain's port table and pending bitmap live
+//! in its own [`crate::region::Region`], and the only operation that
+//! touches two domains at once — delivering a notification across the
+//! boundary, completing a bind handshake, propagating a close — goes
+//! through the typed [`crate::xregion`] paths. This module keeps the
+//! *per-domain* half: [`DomainPorts`] and the 2-level pending bitmap.
+//!
 //! Pending delivery uses Xen's 2-level bitmap ABI rather than an event
 //! queue: each domain keeps one pending *bit* per port plus a selector
 //! layer with one bit per nonzero word. Repeated sends on an
 //! already-pending port therefore coalesce into a single notification
-//! (events are data-free, so nothing is lost), and [`EventChannels::poll`]
-//! / [`EventChannels::drain_pending`] scan only the words the selector
-//! says are live — O(words), not O(sends).
+//! (events are data-free, so nothing is lost), and polling or draining
+//! scans only the words the selector says are live — O(words), not
+//! O(sends).
 
 use crate::fasthash::FastMap;
 
@@ -47,7 +55,7 @@ xoar_codec::impl_json_enum!(VirqKind {
 
 /// State of one port in a domain's event-channel table.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum PortState {
+pub(crate) enum PortState {
     /// Allocated, waiting for `remote` to bind.
     Unbound {
         /// Domain permitted to bind the other end.
@@ -77,11 +85,11 @@ pub struct PendingEvent {
 /// Level 2 is one bit per port (`words[port / 64]`); level 1 is one
 /// selector bit per nonzero level-2 word. A single selector word spans
 /// 64 × 64 = 4096 ports, exactly Xen's 2-level span; because port
-/// *numbers* are never reused (see [`EventChannels::close`]) both layers
-/// grow on demand so long-lived domains that churn past 4096 allocations
-/// keep working.
+/// *numbers* are never reused (see [`crate::xregion::event_close`]) both
+/// layers grow on demand so long-lived domains that churn past 4096
+/// allocations keep working.
 #[derive(Debug, Default)]
-struct PendingBitmap {
+pub(crate) struct PendingBitmap {
     /// Level 2: bit `port % 64` of `words[port / 64]` ⇔ port pending.
     words: Vec<u64>,
     /// Level 1: bit `w % 64` of `selectors[w / 64]` ⇔ `words[w] != 0`.
@@ -94,7 +102,7 @@ impl PendingBitmap {
     /// Sets the pending bit for `port`. Returns `true` iff the bit was
     /// previously clear — i.e. whether this send produced a new
     /// notification rather than coalescing into an existing one.
-    fn set(&mut self, port: u32) -> bool {
+    pub(crate) fn set(&mut self, port: u32) -> bool {
         let w = (port / 64) as usize;
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
@@ -157,287 +165,112 @@ impl PendingBitmap {
     }
 }
 
-#[derive(Debug, Default)]
-struct DomainPorts {
-    ports: FastMap<u32, PortState>,
-    next_port: u32,
-    pending: PendingBitmap,
-    masked: bool,
-}
-
 /// Per-domain limit on event-channel ports (Xen's default for PV guests is
 /// 1024 with the 2-level ABI).
 pub const MAX_PORTS_PER_DOMAIN: u32 = 1024;
 
-/// The system-wide event-channel switch.
+/// One domain's half of the event-channel mechanism: its port table, the
+/// 2-level pending bitmap, and the delivery mask. Owned by the domain's
+/// [`crate::region::Region`]; every operation here touches exactly this
+/// domain's state.
 #[derive(Debug, Default)]
-pub struct EventChannels {
-    domains: FastMap<DomId, DomainPorts>,
-    /// Count of notifications delivered, for the evaluation harness.
-    delivered: u64,
+pub(crate) struct DomainPorts {
+    /// Port number → state. Port numbers are never reused.
+    pub(crate) ports: FastMap<u32, PortState>,
+    /// Next port number to hand out.
+    next_port: u32,
+    /// The 2-level pending bitmap.
+    pub(crate) pending: PendingBitmap,
+    /// While set, `poll`/`drain` return nothing (delivery is deferred,
+    /// not dropped).
+    masked: bool,
 }
 
-impl EventChannels {
-    /// Creates an empty switch.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Registers a domain (idempotent).
-    pub fn register_domain(&mut self, dom: DomId) {
-        self.domains.entry(dom).or_default();
-    }
-
-    /// Removes a domain, reclaiming all its ports and the peers' ends of
-    /// its interdomain channels.
-    pub fn remove_domain(&mut self, dom: DomId) {
-        let Some(ports) = self.domains.remove(&dom) else {
-            return;
-        };
-        let peers: Vec<(DomId, u32)> = ports
-            .ports
-            .values()
-            .filter_map(|s| match s {
-                PortState::Interdomain {
-                    remote,
-                    remote_port,
-                } => Some((*remote, *remote_port)),
-                _ => None,
-            })
-            .collect();
-        // The peers' half-open ports are reclaimed immediately (as when a
-        // real backend observes the frontend's death and closes its end).
-        for (peer, pport) in peers {
-            if let Some(pd) = self.domains.get_mut(&peer) {
-                pd.ports.remove(&pport);
-            }
-        }
-    }
-
-    fn dom_mut(&mut self, dom: DomId) -> HvResult<&mut DomainPorts> {
-        self.domains
-            .get_mut(&dom)
-            .ok_or_else(|| EventError::BadRemote.into())
-    }
-
-    fn alloc_port(dp: &mut DomainPorts) -> HvResult<u32> {
-        if dp.ports.len() as u32 >= MAX_PORTS_PER_DOMAIN {
+impl DomainPorts {
+    /// Allocates a fresh port number, enforcing the per-domain limit.
+    /// Port *numbers* are never reused — freshness keeps stale
+    /// rendezvous data in XenStore harmless — but table slots count
+    /// against [`MAX_PORTS_PER_DOMAIN`] only while open.
+    pub(crate) fn alloc_port(&mut self) -> HvResult<u32> {
+        if self.ports.len() as u32 >= MAX_PORTS_PER_DOMAIN {
             return Err(EventError::NoFreePorts.into());
         }
-        let p = dp.next_port;
-        dp.next_port += 1;
+        let p = self.next_port;
+        self.next_port += 1;
         Ok(p)
     }
 
-    /// Allocates an unbound port on `owner`, bindable only by `remote`.
-    pub fn alloc_unbound(&mut self, owner: DomId, remote: DomId) -> HvResult<u32> {
-        let dp = self.dom_mut(owner)?;
-        let port = Self::alloc_port(dp)?;
-        dp.ports.insert(port, PortState::Unbound { remote });
+    /// Allocates an unbound port, bindable only by `remote`.
+    pub(crate) fn alloc_unbound(&mut self, remote: DomId) -> HvResult<u32> {
+        let port = self.alloc_port()?;
+        self.ports.insert(port, PortState::Unbound { remote });
         Ok(port)
     }
 
-    /// Binds `binder`'s new local port to (`remote`, `remote_port`).
-    ///
-    /// Succeeds only if the remote port is unbound and names `binder` as
-    /// the permitted remote — the access-control core of the mechanism.
-    pub fn bind_interdomain(
-        &mut self,
-        binder: DomId,
-        remote: DomId,
-        remote_port: u32,
-    ) -> HvResult<u32> {
-        // Validate the remote side first.
-        {
-            let rd = self.domains.get(&remote).ok_or(EventError::BadRemote)?;
-            match rd.ports.get(&remote_port) {
-                Some(PortState::Unbound { remote: permitted }) if *permitted == binder => {}
-                Some(PortState::Unbound { .. }) => return Err(EventError::BindMismatch.into()),
-                Some(_) => return Err(EventError::AlreadyBound(remote_port).into()),
-                None => return Err(EventError::BadPort(remote_port).into()),
-            }
-        }
-        let local_port = {
-            let bd = self.dom_mut(binder)?;
-            let p = Self::alloc_port(bd)?;
-            bd.ports.insert(
-                p,
-                PortState::Interdomain {
-                    remote,
-                    remote_port,
-                },
-            );
-            p
-        };
-        // Complete the remote side.
-        let rd = self.dom_mut(remote)?;
-        rd.ports.insert(
-            remote_port,
-            PortState::Interdomain {
-                remote: binder,
-                remote_port: local_port,
-            },
-        );
-        Ok(local_port)
-    }
-
-    /// Binds a VIRQ to a fresh local port on `dom`.
-    pub fn bind_virq(&mut self, dom: DomId, virq: VirqKind) -> HvResult<u32> {
-        let dp = self.dom_mut(dom)?;
-        if dp
+    /// Binds a VIRQ to a fresh local port (one port per VIRQ kind).
+    pub(crate) fn bind_virq(&mut self, virq: VirqKind) -> HvResult<u32> {
+        if self
             .ports
             .values()
             .any(|s| matches!(s, PortState::Virq(v) if *v == virq))
         {
             return Err(EventError::AlreadyBound(0).into());
         }
-        let port = Self::alloc_port(dp)?;
-        dp.ports.insert(port, PortState::Virq(virq));
+        let port = self.alloc_port()?;
+        self.ports.insert(port, PortState::Virq(virq));
         Ok(port)
     }
 
-    /// Sends a notification through `port` of `sender`.
+    /// Marks the port bound to `virq` pending, if one exists.
     ///
-    /// For interdomain ports the peer's port is marked pending; the data-
-    /// free nature of channels means delivery is just a bit set, so a
-    /// send on an already-pending port coalesces (Xen semantics). The
-    /// bit is set even while the receiver is masked — masking defers
-    /// delivery, it does not drop it.
-    pub fn send(&mut self, sender: DomId, port: u32) -> HvResult<()> {
-        let (remote, remote_port) = {
-            let dp = self.domains.get(&sender).ok_or(EventError::BadRemote)?;
-            match dp.ports.get(&port) {
-                Some(PortState::Interdomain {
-                    remote,
-                    remote_port,
-                }) => (*remote, *remote_port),
-                Some(PortState::Virq(_)) | Some(PortState::Unbound { .. }) => {
-                    return Err(EventError::BadPort(port).into())
-                }
-                _ => return Err(EventError::BadPort(port).into()),
-            }
-        };
-        if let Some(rd) = self.domains.get_mut(&remote) {
-            if rd.pending.set(remote_port) {
-                self.delivered += 1;
-            }
-        }
-        Ok(())
-    }
-
-    /// Hypervisor-side: raise a VIRQ on `dom` if bound.
-    ///
-    /// Returns whether the VIRQ is now pending on some port (a raise on
-    /// an already-pending port coalesces but still reports `true`).
-    pub fn raise_virq(&mut self, dom: DomId, virq: VirqKind) -> bool {
-        let Some(dp) = self.domains.get_mut(&dom) else {
-            return false;
-        };
-        let port = dp.ports.iter().find_map(|(&p, s)| match s {
+    /// `Some(fresh)` when the VIRQ is bound (with `fresh` reporting a
+    /// clear→pending transition), `None` when unbound.
+    pub(crate) fn raise_virq(&mut self, virq: VirqKind) -> Option<bool> {
+        let port = self.ports.iter().find_map(|(&p, s)| match s {
             PortState::Virq(v) if *v == virq => Some(p),
             _ => None,
-        });
-        match port {
-            Some(p) => {
-                if dp.pending.set(p) {
-                    self.delivered += 1;
-                }
-                true
-            }
-            None => false,
-        }
+        })?;
+        Some(self.pending.set(port))
     }
 
-    /// Dequeues the lowest-numbered pending event for `dom`.
-    ///
-    /// Returns `None` while the domain is masked; the pending bits stay
-    /// set and become visible again on unmask.
-    pub fn poll(&mut self, dom: DomId) -> Option<PendingEvent> {
-        let dp = self.domains.get_mut(&dom)?;
-        if dp.masked {
+    /// Dequeues the lowest-numbered pending event, or `None` while
+    /// masked (the bits stay set and reappear on unmask).
+    pub(crate) fn poll(&mut self) -> Option<PendingEvent> {
+        if self.masked {
             return None;
         }
-        dp.pending.take_lowest().map(|port| PendingEvent { port })
+        self.pending.take_lowest().map(|port| PendingEvent { port })
     }
 
-    /// Drains every pending event for `dom` (ascending port order) into
-    /// `out`, returning how many were appended. O(nonzero bitmap words).
-    pub fn drain_pending_into(&mut self, dom: DomId, out: &mut Vec<PendingEvent>) -> usize {
-        match self.domains.get_mut(&dom) {
-            Some(dp) if !dp.masked => dp.pending.drain_into(out),
-            _ => 0,
+    /// Drains every pending event (ascending port order) into `out`,
+    /// returning how many were appended; 0 while masked.
+    pub(crate) fn drain_pending_into(&mut self, out: &mut Vec<PendingEvent>) -> usize {
+        if self.masked {
+            return 0;
         }
+        self.pending.drain_into(out)
     }
 
-    /// Allocating convenience wrapper around [`Self::drain_pending_into`].
-    pub fn drain_pending(&mut self, dom: DomId) -> Vec<PendingEvent> {
-        let mut out = Vec::new();
-        self.drain_pending_into(dom, &mut out);
-        out
+    /// Number of distinct pending ports.
+    pub(crate) fn pending_count(&self) -> usize {
+        self.pending.count
     }
 
-    /// Number of distinct pending ports for `dom`.
-    pub fn pending_count(&self, dom: DomId) -> usize {
-        self.domains.get(&dom).map_or(0, |d| d.pending.count)
+    /// Masks or unmasks event delivery. Masking defers delivery: sends
+    /// still set pending bits, but nothing is visible until unmask.
+    pub(crate) fn set_masked(&mut self, masked: bool) {
+        self.masked = masked;
     }
 
-    /// Masks or unmasks event delivery for `dom`. Masking defers
-    /// delivery: sends still set pending bits, but `poll`/`drain_pending`
-    /// return nothing until the domain is unmasked.
-    pub fn set_masked(&mut self, dom: DomId, masked: bool) {
-        if let Some(d) = self.domains.get_mut(&dom) {
-            d.masked = masked;
-        }
+    /// Whether `port` is connected to a live peer.
+    pub(crate) fn is_connected(&self, port: u32) -> bool {
+        matches!(self.ports.get(&port), Some(PortState::Interdomain { .. }))
     }
 
-    /// Closes `port` on `dom`, reclaiming it; the peer's end (if any) is
-    /// reclaimed too. Port *numbers* are never reused — freshness of
-    /// numbers keeps stale rendezvous data in XenStore harmless — but the
-    /// table slots count against [`MAX_PORTS_PER_DOMAIN`] only while
-    /// open, so long-lived backends do not leak capacity across guest
-    /// churn.
-    pub fn close(&mut self, dom: DomId, port: u32) -> HvResult<()> {
-        let peer = {
-            let dp = self.dom_mut(dom)?;
-            let state = dp.ports.remove(&port).ok_or(EventError::BadPort(port))?;
-            match state {
-                PortState::Interdomain {
-                    remote,
-                    remote_port,
-                } => Some((remote, remote_port)),
-                _ => None,
-            }
-        };
-        if let Some((peer, pport)) = peer {
-            if let Some(pd) = self.domains.get_mut(&peer) {
-                pd.ports.remove(&pport);
-            }
-        }
-        Ok(())
-    }
-
-    /// Whether `port` on `dom` is connected to a live peer.
-    pub fn is_connected(&self, dom: DomId, port: u32) -> bool {
-        matches!(
-            self.domains.get(&dom).and_then(|d| d.ports.get(&port)),
-            Some(PortState::Interdomain { .. })
-        )
-    }
-
-    /// Total notifications delivered (evaluation counter). Counts
-    /// clear→pending transitions, so sends coalesced into an
-    /// already-pending port count once — matching what a real guest
-    /// observes as distinct upcalls.
-    pub fn delivered_count(&self) -> u64 {
-        self.delivered
-    }
-
-    /// The interdomain peers of `dom` (for the audit dependency graph).
-    pub fn peers_of(&self, dom: DomId) -> Vec<DomId> {
-        let Some(dp) = self.domains.get(&dom) else {
-            return Vec::new();
-        };
-        let mut peers: Vec<DomId> = dp
+    /// The interdomain peers of this domain (for the audit dependency
+    /// graph), sorted and deduplicated.
+    pub(crate) fn peers(&self) -> Vec<DomId> {
+        let mut peers: Vec<DomId> = self
             .ports
             .values()
             .filter_map(|s| match s {
@@ -456,147 +289,29 @@ mod tests {
     use super::*;
     use crate::error::HvError;
 
-    fn two_domains() -> (EventChannels, DomId, DomId) {
-        let mut ev = EventChannels::new();
-        let a = DomId(1);
-        let b = DomId(2);
-        ev.register_domain(a);
-        ev.register_domain(b);
-        (ev, a, b)
+    #[test]
+    fn bitmap_sets_and_takes_in_order() {
+        let mut bm = PendingBitmap::default();
+        assert!(bm.set(70));
+        assert!(bm.set(3));
+        assert!(!bm.set(3), "second set coalesces");
+        assert_eq!(bm.count, 2);
+        assert_eq!(bm.take_lowest(), Some(3));
+        assert_eq!(bm.take_lowest(), Some(70));
+        assert_eq!(bm.take_lowest(), None);
     }
 
     #[test]
-    fn handshake_connects_both_ends() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        assert!(ev.is_connected(a, pa));
-        assert!(ev.is_connected(b, pb));
-        assert_eq!(ev.peers_of(a), vec![b]);
-    }
-
-    #[test]
-    fn bind_by_wrong_domain_rejected() {
-        let (mut ev, a, b) = two_domains();
-        let c = DomId(3);
-        ev.register_domain(c);
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let err = ev.bind_interdomain(c, a, pa).unwrap_err();
-        assert!(matches!(err, HvError::Event(EventError::BindMismatch)));
-    }
-
-    #[test]
-    fn bind_to_bound_port_rejected() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        ev.bind_interdomain(b, a, pa).unwrap();
-        let err = ev.bind_interdomain(b, a, pa).unwrap_err();
-        assert!(matches!(err, HvError::Event(EventError::AlreadyBound(_))));
-    }
-
-    #[test]
-    fn send_delivers_to_peer_port() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        ev.send(a, pa).unwrap();
-        let got = ev.poll(b).unwrap();
-        assert_eq!(got.port, pb);
-        assert!(ev.poll(b).is_none());
-        // And in the other direction.
-        ev.send(b, pb).unwrap();
-        assert_eq!(ev.poll(a).unwrap().port, pa);
-        assert_eq!(ev.delivered_count(), 2);
-    }
-
-    #[test]
-    fn send_on_unbound_port_fails() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        assert!(ev.send(a, pa).is_err());
-    }
-
-    #[test]
-    fn masked_domain_defers_events() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        ev.set_masked(b, true);
-        ev.send(a, pa).unwrap();
-        // Masking defers: the bit is set but invisible to poll.
-        assert_eq!(ev.pending_count(b), 1);
-        assert!(ev.poll(b).is_none());
-        assert!(ev.drain_pending(b).is_empty());
-        ev.set_masked(b, false);
-        assert_eq!(ev.poll(b).unwrap().port, pb);
-        assert!(ev.poll(b).is_none());
-    }
-
-    #[test]
-    fn repeated_sends_coalesce() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        for _ in 0..5 {
-            ev.send(a, pa).unwrap();
+    fn bitmap_drain_matches_ascending_order() {
+        let mut bm = PendingBitmap::default();
+        for p in [500u32, 1, 64, 4097] {
+            bm.set(p);
         }
-        assert_eq!(ev.pending_count(b), 1);
-        assert_eq!(ev.delivered_count(), 1);
-        assert_eq!(ev.poll(b).unwrap().port, pb);
-        assert!(ev.poll(b).is_none());
-        // Once consumed, the next send is a fresh notification.
-        ev.send(a, pa).unwrap();
-        assert_eq!(ev.delivered_count(), 2);
-        assert_eq!(ev.poll(b).unwrap().port, pb);
-    }
-
-    #[test]
-    fn repeated_virq_raises_coalesce() {
-        let (mut ev, a, _) = two_domains();
-        let p = ev.bind_virq(a, VirqKind::Timer).unwrap();
-        assert!(ev.raise_virq(a, VirqKind::Timer));
-        assert!(
-            ev.raise_virq(a, VirqKind::Timer),
-            "coalesced raise still reported"
-        );
-        assert_eq!(ev.pending_count(a), 1);
-        assert_eq!(ev.delivered_count(), 1);
-        assert_eq!(ev.poll(a).unwrap().port, p);
-    }
-
-    #[test]
-    fn poll_returns_lowest_port_first() {
-        let (mut ev, a, b) = two_domains();
-        let pa1 = ev.alloc_unbound(a, b).unwrap();
-        let pb1 = ev.bind_interdomain(b, a, pa1).unwrap();
-        let pa2 = ev.alloc_unbound(a, b).unwrap();
-        let pb2 = ev.bind_interdomain(b, a, pa2).unwrap();
-        assert!(pb1 < pb2);
-        ev.send(a, pa2).unwrap();
-        ev.send(a, pa1).unwrap();
-        assert_eq!(ev.poll(b).unwrap().port, pb1);
-        assert_eq!(ev.poll(b).unwrap().port, pb2);
-    }
-
-    #[test]
-    fn drain_pending_returns_all_in_port_order() {
-        let (mut ev, a, b) = two_domains();
-        let mut peer_ports = Vec::new();
-        for _ in 0..3 {
-            let pa = ev.alloc_unbound(a, b).unwrap();
-            peer_ports.push((pa, ev.bind_interdomain(b, a, pa).unwrap()));
-        }
-        // Send in reverse, with a duplicate thrown in.
-        for &(pa, _) in peer_ports.iter().rev() {
-            ev.send(a, pa).unwrap();
-        }
-        ev.send(a, peer_ports[1].0).unwrap();
-        let drained = ev.drain_pending(b);
-        let expected: Vec<u32> = peer_ports.iter().map(|&(_, pb)| pb).collect();
-        let got: Vec<u32> = drained.iter().map(|e| e.port).collect();
-        assert_eq!(got, expected);
-        assert_eq!(ev.pending_count(b), 0);
-        assert!(ev.drain_pending(b).is_empty());
+        let mut out = Vec::new();
+        assert_eq!(bm.drain_into(&mut out), 4);
+        let ports: Vec<u32> = out.iter().map(|e| e.port).collect();
+        assert_eq!(ports, vec![1, 64, 500, 4097]);
+        assert_eq!(bm.count, 0);
     }
 
     #[test]
@@ -604,165 +319,60 @@ mod tests {
         // Port numbers are never reused, so a long-lived domain can push
         // its port numbers past the 4096 a single selector word spans;
         // the bitmap layers must grow with it.
-        let (mut ev, a, b) = two_domains();
-        for _ in 0..5000 {
-            let pa = ev.alloc_unbound(a, b).unwrap();
-            ev.close(a, pa).unwrap();
-        }
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        assert!(pa >= 5000);
-        ev.send(b, pb).unwrap();
-        assert_eq!(ev.poll(a).unwrap().port, pa);
-    }
-
-    #[test]
-    fn virq_bind_and_raise() {
-        let (mut ev, a, _) = two_domains();
-        let p = ev.bind_virq(a, VirqKind::Console).unwrap();
-        assert!(ev.raise_virq(a, VirqKind::Console));
-        assert_eq!(ev.poll(a).unwrap().port, p);
-        assert!(
-            !ev.raise_virq(a, VirqKind::Timer),
-            "unbound VIRQ not delivered"
-        );
-    }
-
-    #[test]
-    fn duplicate_virq_bind_rejected() {
-        let (mut ev, a, _) = two_domains();
-        ev.bind_virq(a, VirqKind::Timer).unwrap();
-        assert!(ev.bind_virq(a, VirqKind::Timer).is_err());
-    }
-
-    #[test]
-    fn close_propagates_to_peer() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        ev.close(a, pa).unwrap();
-        assert!(!ev.is_connected(a, pa));
-        assert!(!ev.is_connected(b, pb));
-        assert!(ev.send(b, pb).is_err());
-    }
-
-    #[test]
-    fn remove_domain_breaks_channels() {
-        let (mut ev, a, b) = two_domains();
-        let pa = ev.alloc_unbound(a, b).unwrap();
-        let pb = ev.bind_interdomain(b, a, pa).unwrap();
-        ev.remove_domain(a);
-        assert!(!ev.is_connected(b, pb));
-        assert!(ev.send(b, pb).is_err());
+        let mut bm = PendingBitmap::default();
+        assert!(bm.set(5000));
+        assert_eq!(bm.take_lowest(), Some(5000));
     }
 
     #[test]
     fn port_limit_enforced() {
-        let mut ev = EventChannels::new();
-        let a = DomId(1);
-        ev.register_domain(a);
-        ev.register_domain(DomId(2));
+        let mut dp = DomainPorts::default();
         for _ in 0..MAX_PORTS_PER_DOMAIN {
-            ev.alloc_unbound(a, DomId(2)).unwrap();
+            dp.alloc_unbound(DomId(2)).unwrap();
         }
         assert!(matches!(
-            ev.alloc_unbound(a, DomId(2)).unwrap_err(),
+            dp.alloc_unbound(DomId(2)).unwrap_err(),
             HvError::Event(EventError::NoFreePorts)
         ));
     }
-}
 
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use xoar_sim::prop::Runner;
-
-    /// Every *signalled port* is delivered exactly once no matter how
-    /// many sends hit it: repeated sends on a pending port coalesce
-    /// (Xen bitmap semantics), so what poll yields is the set of
-    /// distinct signalled ports, in ascending port order.
     #[test]
-    fn signalled_ports_delivered_exactly_once() {
-        Runner::cases(64).run("signalled ports delivered exactly once", |g| {
-            let channels = g.usize(1..8);
-            let sends = g.usize(1..100);
-            let mut ev = EventChannels::new();
-            let (a, b) = (DomId(1), DomId(2));
-            ev.register_domain(a);
-            ev.register_domain(b);
-            let mut pairs = Vec::new();
-            for _ in 0..channels {
-                let pa = ev.alloc_unbound(a, b).unwrap();
-                let pb = ev.bind_interdomain(b, a, pa).unwrap();
-                pairs.push((pa, pb));
-            }
-            let mut signalled = std::collections::BTreeSet::new();
-            for _ in 0..sends {
-                let (pa, pb) = pairs[g.usize(0..pairs.len())];
-                ev.send(a, pa).unwrap();
-                signalled.insert(pb);
-            }
-            assert_eq!(ev.pending_count(b), signalled.len());
-            let mut received = Vec::new();
-            while let Some(e) = ev.poll(b) {
-                received.push(e.port);
-            }
-            let expected: Vec<u32> = signalled.into_iter().collect();
-            assert_eq!(received, expected);
-            assert_eq!(ev.delivered_count(), expected.len() as u64);
-        });
+    fn port_numbers_not_reused_after_close() {
+        let mut dp = DomainPorts::default();
+        let a = dp.alloc_unbound(DomId(2)).unwrap();
+        dp.ports.remove(&a);
+        let b = dp.alloc_unbound(DomId(2)).unwrap();
+        assert_ne!(a, b, "port numbers must stay fresh");
     }
 
-    /// drain_pending is equivalent to polling until empty.
     #[test]
-    fn drain_equals_poll_until_empty() {
-        Runner::cases(64).run("drain equals poll until empty", |g| {
-            let channels = g.usize(1..6);
-            let sends = g.usize(0..40);
-            let mk = || {
-                let mut ev = EventChannels::new();
-                let (a, b) = (DomId(1), DomId(2));
-                ev.register_domain(a);
-                ev.register_domain(b);
-                let mut ports = Vec::new();
-                for _ in 0..channels {
-                    let pa = ev.alloc_unbound(a, b).unwrap();
-                    ev.bind_interdomain(b, a, pa).unwrap();
-                    ports.push(pa);
-                }
-                (ev, a, b, ports)
-            };
-            let (mut ev1, a1, b1, ports1) = mk();
-            let (mut ev2, _, b2, _) = mk();
-            for _ in 0..sends {
-                let i = g.usize(0..ports1.len());
-                ev1.send(a1, ports1[i]).unwrap();
-                ev2.send(a1, ports1[i]).unwrap();
-            }
-            let drained: Vec<u32> = ev1.drain_pending(b1).iter().map(|e| e.port).collect();
-            let mut polled = Vec::new();
-            while let Some(e) = ev2.poll(b2) {
-                polled.push(e.port);
-            }
-            assert_eq!(drained, polled);
-        });
+    fn duplicate_virq_bind_rejected() {
+        let mut dp = DomainPorts::default();
+        dp.bind_virq(VirqKind::Timer).unwrap();
+        assert!(dp.bind_virq(VirqKind::Timer).is_err());
+        dp.bind_virq(VirqKind::Console).unwrap();
     }
 
-    /// The handshake is symmetric: after binding, both sides report
-    /// each other as peers.
     #[test]
-    fn handshake_symmetry() {
-        Runner::cases(64).run("handshake symmetry", |g| {
-            let a_id = g.u32(1..50);
-            let b_id = g.u32(51..100);
-            let mut ev = EventChannels::new();
-            let (a, b) = (DomId(a_id), DomId(b_id));
-            ev.register_domain(a);
-            ev.register_domain(b);
-            let pa = ev.alloc_unbound(a, b).unwrap();
-            ev.bind_interdomain(b, a, pa).unwrap();
-            assert_eq!(ev.peers_of(a), vec![b]);
-            assert_eq!(ev.peers_of(b), vec![a]);
-        });
+    fn masked_ports_defer_delivery() {
+        let mut dp = DomainPorts::default();
+        let p = dp.bind_virq(VirqKind::Debug).unwrap();
+        dp.set_masked(true);
+        assert_eq!(dp.raise_virq(VirqKind::Debug), Some(true));
+        assert_eq!(dp.pending_count(), 1);
+        assert!(dp.poll().is_none());
+        let mut out = Vec::new();
+        assert_eq!(dp.drain_pending_into(&mut out), 0);
+        dp.set_masked(false);
+        assert_eq!(dp.poll().unwrap().port, p);
+    }
+
+    #[test]
+    fn raise_virq_reports_binding_and_freshness() {
+        let mut dp = DomainPorts::default();
+        assert_eq!(dp.raise_virq(VirqKind::Timer), None, "unbound");
+        dp.bind_virq(VirqKind::Timer).unwrap();
+        assert_eq!(dp.raise_virq(VirqKind::Timer), Some(true), "fresh");
+        assert_eq!(dp.raise_virq(VirqKind::Timer), Some(false), "coalesced");
     }
 }

@@ -18,9 +18,14 @@
 //!   partition (§4.1);
 //! * [`privilege`] — the Figure 3.1 privilege-assignment API
 //!   (`assign_pci_device`, `permit_hypercall`, `allow_delegation`);
-//! * [`sched`] — a credit-scheduler model for simulated time accounting;
+//! * [`sched`] — a credit-scheduler model for simulated time accounting,
+//!   plus per-pcpu runqueues with work stealing;
 //! * [`snapshot`] — the snapshot/rollback microreboot mechanism with
 //!   copy-on-write dirty tracking and recovery boxes (§3.3);
+//! * [`region`] — per-domain state regions: each domain's grant table,
+//!   event ports, and console ring behind one owner;
+//! * [`xregion`] — the typed cross-region operations ([`xregion::CrossRegionOp`])
+//!   that are the only paths touching two regions at once;
 //! * [`hypervisor`] — the monitor itself, tying the pieces together and
 //!   making every access-control decision.
 //!
@@ -63,11 +68,15 @@ pub mod hypercall;
 pub mod hypervisor;
 pub mod memory;
 pub mod privilege;
+pub mod region;
 pub mod sched;
 pub mod snapshot;
+pub mod xregion;
 
 pub use domain::{DomId, Domain, DomainRole, DomainState};
 pub use error::{HvError, HvResult};
 pub use hypercall::{Hypercall, HypercallId, HypercallRet};
 pub use hypervisor::{HostConfig, Hypervisor};
 pub use privilege::{PciAddress, PrivilegeSet};
+pub use region::Region;
+pub use xregion::CrossRegionOp;

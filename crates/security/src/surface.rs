@@ -78,7 +78,6 @@ pub fn survey(platform: &Platform) -> SurfaceSurvey {
         }
         let guest_event_channels = platform
             .hv
-            .events
             .peers_of(id)
             .into_iter()
             .filter(|p| guest_ids.contains(p))

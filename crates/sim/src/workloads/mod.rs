@@ -10,5 +10,6 @@ pub mod density;
 pub mod kernel_build;
 pub mod postmark;
 pub mod restart_sweep;
+pub mod smp;
 pub mod stagger;
 pub mod wget;

@@ -1,0 +1,273 @@
+//! SMP scaling workload: a multi-vcpu guest issuing XenStore-style
+//! request bursts across a configurable number of simulated physical
+//! CPUs (runqueues).
+//!
+//! Each simulated pcpu is a periodic tick event in the DES engine; on
+//! every tick it picks a vcpu from its own runqueue (or steals one from
+//! a neighbour) and executes one request: a `SchedYield`, an
+//! `EvtchnSend` on that vcpu's private channel to the XenStore shard,
+//! and an idempotent write to the vcpu's private page. All three are
+//! commutative across vcpus within a tick — sends to distinct ports set
+//! distinct pending bits, and each vcpu touches only its own page — so
+//! the final platform state is identical no matter how many runqueues
+//! the same vcpus were spread over. That invariance is what
+//! `tests/sharding.rs` checks byte-for-byte.
+//!
+//! Every vcpu starts on runqueue 0: the steady-state balance emerges
+//! through work stealing, which is the mechanism under test.
+
+use crate::des::Engine;
+use xoar_core::platform::Platform;
+use xoar_hypervisor::memory::Pfn;
+use xoar_hypervisor::sched::{RunQueues, VcpuRef};
+use xoar_hypervisor::{DomId, Hypercall, HypercallId};
+
+/// Simulated scheduling tick: 30 µs, matching the credit scheduler's
+/// accounting quantum ratio used elsewhere in the suite.
+pub const TICK_NS: u64 = 30_000;
+
+/// Outcome of an SMP scaling run.
+#[derive(Debug, Clone)]
+pub struct SmpResult {
+    /// Number of runqueues (simulated pcpus) the run used.
+    pub runqueues: usize,
+    /// Number of guest vcpus that participated.
+    pub vcpus: u32,
+    /// Total requests completed across all vcpus.
+    pub ops: u64,
+    /// Scheduling ticks elapsed (rounds of the DES engine).
+    pub ticks: u64,
+    /// Vcpus migrated between runqueues by work stealing.
+    pub steals: u64,
+    /// Simulated time consumed, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Requests completed by each vcpu, indexed by vcpu id — the
+    /// starvation evidence the work-stealing property test inspects.
+    pub ops_by_vcpu: Vec<u64>,
+}
+
+impl SmpResult {
+    /// Requests completed per scheduling tick — the throughput figure
+    /// the vcpu-scaling ablation reports.
+    pub fn ops_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.ticks as f64
+    }
+}
+
+/// The prepared half of the workload: per-vcpu event channels to the
+/// XenStore shard, set up once so the run loop can execute repeatedly
+/// (benchmark iterations) without allocating fresh ports each time.
+#[derive(Debug, Clone)]
+pub struct SmpWorkload {
+    guest: DomId,
+    ports: Vec<u32>,
+}
+
+impl SmpWorkload {
+    /// Sets up the workload for `guest`: one rendezvous channel per
+    /// vcpu — the guest offers an unbound port, the shard completes the
+    /// handshake. Sends on distinct ports coalesce independently,
+    /// keeping per-vcpu signalling commutative.
+    ///
+    /// The workload is a host-side driver (like the density sweep): it
+    /// pokes `platform.hv` directly where a real toolstack would, and
+    /// issues the per-request hypercalls as the guest.
+    pub fn prepare(platform: &mut Platform, guest: DomId) -> Self {
+        let xs = platform.services.xenstore;
+        // The XenStore shard binds the guest's offered ports below; make
+        // sure it may issue the bind regardless of platform flavour.
+        platform
+            .hv
+            .domain_mut(xs)
+            .expect("xenstore shard exists")
+            .privileges
+            .permit_hypercall(HypercallId::EvtchnBindInterdomain);
+
+        let vcpus = platform.hv.domain(guest).expect("guest exists").vcpus.len() as u32;
+        let ports: Vec<u32> = (0..vcpus)
+            .map(|_| {
+                let port = platform
+                    .hv
+                    .hypercall(guest, Hypercall::EvtchnAllocUnbound { remote: xs })
+                    .expect("guest offers event channel")
+                    .port();
+                platform
+                    .hv
+                    .hypercall(
+                        xs,
+                        Hypercall::EvtchnBindInterdomain {
+                            remote: guest,
+                            remote_port: port,
+                        },
+                    )
+                    .expect("xenstore shard binds");
+                port
+            })
+            .collect();
+        SmpWorkload { guest, ports }
+    }
+
+    /// Runs `rounds` scheduling ticks over `runqueues` simulated pcpus,
+    /// returning the throughput accounting. Safe to call repeatedly on
+    /// the same prepared workload: every operation is idempotent.
+    pub fn run(&self, platform: &mut Platform, runqueues: usize, rounds: u64) -> SmpResult {
+        run_prepared(platform, self.guest, &self.ports, runqueues, rounds)
+    }
+}
+
+/// One-shot convenience: [`SmpWorkload::prepare`] followed by a single
+/// [`SmpWorkload::run`].
+pub fn run(platform: &mut Platform, guest: DomId, runqueues: usize, rounds: u64) -> SmpResult {
+    SmpWorkload::prepare(platform, guest).run(platform, runqueues, rounds)
+}
+
+fn run_prepared(
+    platform: &mut Platform,
+    guest: DomId,
+    ports: &[u32],
+    runqueues: usize,
+    rounds: u64,
+) -> SmpResult {
+    let vcpus = ports.len() as u32;
+    let mut rq = RunQueues::new(runqueues);
+    for v in 0..vcpus {
+        rq.enqueue(
+            0,
+            VcpuRef {
+                dom: guest,
+                vcpu: v,
+            },
+        );
+    }
+
+    // One periodic tick event per pcpu. `next_tick` pops the whole
+    // tick's worth in scheduling order, so pcpu 0 always runs before
+    // pcpu 1 within a tick — deterministic regardless of runqueue count.
+    let mut eng: Engine<usize> = Engine::new();
+    for r in 0..rq.queue_count() {
+        eng.schedule(TICK_NS, r);
+    }
+
+    let mut ops = 0u64;
+    let mut ops_by_vcpu = vec![0u64; vcpus as usize];
+    let mut ticks = 0u64;
+    while ticks < rounds {
+        let batch = eng.next_tick();
+        if batch.is_empty() {
+            break;
+        }
+        ticks += 1;
+        let reschedule = ticks < rounds;
+        for (_, r) in batch {
+            let picked = rq.pick_next(r, &platform.hv.sched).or_else(|| rq.steal(r));
+            if let Some(v) = picked {
+                platform
+                    .hv
+                    .hypercall(guest, Hypercall::SchedYield)
+                    .expect("yield");
+                platform
+                    .hv
+                    .hypercall(
+                        guest,
+                        Hypercall::EvtchnSend {
+                            port: ports[v.vcpu as usize],
+                        },
+                    )
+                    .expect("send");
+                // Idempotent: each vcpu stamps its own page with the
+                // same bytes every round, so final memory contents do
+                // not depend on execution order or interleaving.
+                let stamp = [v.vcpu as u8, 0xA5];
+                platform
+                    .hv
+                    .mem
+                    .write(guest, Pfn(u64::from(v.vcpu)), &stamp)
+                    .expect("guest page populated");
+                ops += 1;
+                ops_by_vcpu[v.vcpu as usize] += 1;
+                rq.enqueue(r, v);
+            }
+            if reschedule {
+                eng.schedule_in(TICK_NS, r);
+            }
+        }
+    }
+
+    platform.hv.advance_time(eng.now_ns());
+    SmpResult {
+        runqueues: rq.queue_count(),
+        vcpus,
+        ops,
+        ticks,
+        steals: rq.steals(),
+        elapsed_ns: eng.now_ns(),
+        ops_by_vcpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+
+    fn smp_platform(vcpus: u32) -> (Platform, DomId) {
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let mut cfg = GuestConfig::evaluation_guest("smp-guest");
+        cfg.vcpus = vcpus;
+        let g = p.create_guest(ts, cfg).expect("guest boots");
+        (p, g)
+    }
+
+    #[test]
+    fn throughput_tracks_runqueue_count() {
+        let (mut p1, g1) = smp_platform(4);
+        let (mut p4, g4) = smp_platform(4);
+        let one = run(&mut p1, g1, 1, 64);
+        let four = run(&mut p4, g4, 4, 64);
+        assert_eq!(one.ticks, 64);
+        assert_eq!(four.ticks, 64);
+        // With 4 vcpus, 4 pcpus complete ~4x the requests per tick.
+        assert!(
+            four.ops_per_tick() >= one.ops_per_tick() * 3.0,
+            "expected near-linear scaling: 1rq={} ops/tick, 4rq={} ops/tick",
+            one.ops_per_tick(),
+            four.ops_per_tick()
+        );
+    }
+
+    #[test]
+    fn stealing_spreads_the_initial_pileup() {
+        let (mut p, g) = smp_platform(4);
+        let res = run(&mut p, g, 4, 32);
+        assert!(
+            res.steals > 0,
+            "all vcpus start on runqueue 0; idle pcpus must steal"
+        );
+        assert_eq!(res.vcpus, 4);
+        assert_eq!(res.runqueues, 4);
+    }
+
+    #[test]
+    fn more_runqueues_than_vcpus_is_safe() {
+        let (mut p, g) = smp_platform(2);
+        let res = run(&mut p, g, 6, 16);
+        assert_eq!(res.ticks, 16);
+        // At most `vcpus` requests complete per tick.
+        assert!(res.ops <= u64::from(res.vcpus) * res.ticks);
+        assert!(res.ops > 0);
+    }
+
+    #[test]
+    fn elapsed_time_depends_only_on_rounds() {
+        let (mut p1, g1) = smp_platform(2);
+        let (mut p3, g3) = smp_platform(2);
+        let a = run(&mut p1, g1, 1, 20);
+        let b = run(&mut p3, g3, 3, 20);
+        assert_eq!(a.elapsed_ns, 20 * TICK_NS);
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+    }
+}

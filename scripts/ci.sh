@@ -33,8 +33,9 @@ trap - EXIT
 echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
 
 # Analysis gate: Pass A (model-level privilege-flow audit over the
-# traced reference scenario, plus the selftest proving the rules fire on
-# injected violations) and Pass B (token-level boundary/no-panic/
+# traced reference scenario — including the declared-cross-region-ops
+# ledger check — plus the selftest proving the rules fire on injected
+# violations) and Pass B (token-level boundary/no-panic/region-isolation/
 # dispatch lint over crates/*/src with the committed allowlist). Each
 # exits nonzero on any violation or un-allowlisted finding.
 cargo run --release --offline -p xoar-analysis --bin xoar-analyzer

@@ -147,23 +147,14 @@ fn event_drain_equals_poll_loop() {
             pa.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
             pb.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
         }
-        assert_eq!(
-            pa.hv.events.delivered_count(),
-            pb.hv.events.delivered_count()
-        );
-        let drained: Vec<u32> = pa
-            .hv
-            .events
-            .drain_pending(nb)
-            .iter()
-            .map(|e| e.port)
-            .collect();
+        assert_eq!(pa.hv.delivered_count(), pb.hv.delivered_count());
+        let drained: Vec<u32> = pa.hv.drain_pending(nb).iter().map(|e| e.port).collect();
         let mut polled = Vec::new();
-        while let Some(ev) = pb.hv.events.poll(nb) {
+        while let Some(ev) = pb.hv.poll_event(nb) {
             polled.push(ev.port);
         }
         assert_eq!(drained, polled, "drain and poll loop saw different ports");
-        assert_eq!(pa.hv.events.pending_count(nb), 0);
+        assert_eq!(pa.hv.pending_count(nb), 0);
     });
 }
 

@@ -132,7 +132,7 @@ fn xenstore_device_tree_is_fully_populated() {
         .iter()
         .any(|(gref, _)| gref.0 == ring_ref));
     // The published event channel is connected.
-    assert!(p.hv.events.is_connected(g, evtchn));
+    assert!(p.hv.event_connected(g, evtchn));
 }
 
 #[test]

@@ -27,7 +27,7 @@ fn netback_crash_is_survivable_and_recoverable() {
     assert_eq!(p.hv.host_reboot_count(), 0);
     // The guest's event channel to the dead backend is broken.
     let conn = p.guest(g).unwrap().netfront.as_ref().unwrap().conn;
-    assert!(!p.hv.events.is_connected(g, conn.front_port));
+    assert!(!p.hv.event_connected(g, conn.front_port));
 }
 
 #[test]

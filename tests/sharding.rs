@@ -1,0 +1,114 @@
+//! Differential properties for the sharded hypervisor core: the same
+//! guest workload must produce identical observable state no matter how
+//! many runqueues the vcpus are spread over, and the work-stealing
+//! scheduler must never starve a vcpu while another runqueue has
+//! surplus work.
+
+use xoar_analysis::snapshot::ModelSnapshot;
+use xoar_core::platform::{GuestConfig, Platform, XoarConfig};
+use xoar_hypervisor::memory::Pfn;
+use xoar_hypervisor::DomId;
+use xoar_sim::prop::Runner;
+use xoar_sim::workloads::smp;
+
+fn smp_platform(vcpus: u32) -> (Platform, DomId) {
+    let mut p = Platform::xoar(XoarConfig::default());
+    let ts = p.services.toolstacks[0];
+    let mut cfg = GuestConfig::evaluation_guest("smp-guest");
+    cfg.vcpus = vcpus;
+    let g = p.create_guest(ts, cfg).expect("guest boots");
+    (p, g)
+}
+
+/// Everything an outside observer can see of a finished run, rendered
+/// to bytes: the audit log's hash-chained JSON lines, the analyzer's
+/// model snapshot, the event-delivery counters, and each vcpu's
+/// private-page stamp.
+fn observe(p: &Platform, guest: DomId, vcpus: u32) -> String {
+    assert_eq!(
+        p.audit.verify_chain(),
+        Ok(()),
+        "audit hash chain must stay intact"
+    );
+    let mut out = String::new();
+    out.push_str(&p.audit.to_json_lines());
+    out.push_str(&format!("{:?}\n", ModelSnapshot::capture(p)));
+    out.push_str(&format!("delivered={}\n", p.hv.delivered_count()));
+    out.push_str(&format!(
+        "xs_pending={}\n",
+        p.hv.pending_count(p.services.xenstore)
+    ));
+    for v in 0..vcpus {
+        let page = p.hv.mem.read(guest, Pfn(u64::from(v))).expect("stamped");
+        out.push_str(&format!("vcpu{v}={:?}\n", &page.as_slice()[..2]));
+    }
+    out
+}
+
+/// The tentpole differential: byte-identical audit log, model snapshot,
+/// and guest-visible state at 1, 2, and 4 runqueues for the same
+/// workload parameters.
+#[test]
+fn sharded_run_is_runqueue_invariant() {
+    Runner::cases(8).run("sharded run is runqueue invariant", |gen| {
+        let vcpus = gen.u32(2..5);
+        let rounds = 8 + gen.u64(0..32);
+        let mut worlds = Vec::new();
+        for runqueues in [1usize, 2, 4] {
+            let (mut p, g) = smp_platform(vcpus);
+            let res = smp::run(&mut p, g, runqueues, rounds);
+            assert_eq!(res.ticks, rounds);
+            worlds.push((runqueues, observe(&p, g, vcpus)));
+        }
+        let (_, baseline) = &worlds[0];
+        for (runqueues, obs) in &worlds[1..] {
+            assert_eq!(
+                obs, baseline,
+                "observable state diverged between 1 and {runqueues} runqueues"
+            );
+        }
+    });
+}
+
+/// Work-stealing liveness: with every vcpu piled onto runqueue 0, idle
+/// pcpus must steal, and no vcpu may starve — each one completes at
+/// least half its fair share of requests.
+#[test]
+fn work_stealing_prevents_starvation() {
+    Runner::cases(16).run("work stealing prevents starvation", |gen| {
+        let vcpus = gen.u32(2..6);
+        let runqueues = gen.usize(2..5);
+        let rounds = 32;
+        let (mut p, g) = smp_platform(vcpus);
+        let res = smp::run(&mut p, g, runqueues, rounds);
+        assert!(
+            res.steals > 0,
+            "{vcpus} vcpus start on runqueue 0 of {runqueues}; stealing must occur"
+        );
+        let fair = res.ops / u64::from(vcpus);
+        for (v, &n) in res.ops_by_vcpu.iter().enumerate() {
+            assert!(
+                n >= fair / 2,
+                "vcpu {v} completed {n} of {} ops (fair share {fair}) \
+                 across {runqueues} runqueues",
+                res.ops
+            );
+        }
+    });
+}
+
+/// The scaling acceptance bar from the ablation: 1 → 4 runqueues must
+/// buy at least 1.5x throughput for a 4-vcpu guest (it is ~4x here).
+#[test]
+fn four_runqueues_scale_at_least_1_5x() {
+    let (mut p1, g1) = smp_platform(4);
+    let (mut p4, g4) = smp_platform(4);
+    let one = smp::run(&mut p1, g1, 1, 64);
+    let four = smp::run(&mut p4, g4, 4, 64);
+    assert!(
+        four.ops_per_tick() >= one.ops_per_tick() * 1.5,
+        "scaling too weak: 1rq={} ops/tick vs 4rq={} ops/tick",
+        one.ops_per_tick(),
+        four.ops_per_tick()
+    );
+}

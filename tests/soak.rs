@@ -93,7 +93,7 @@ fn one_week_public_cloud_soak() {
     );
     // Port tables did not leak across churn (the backend reclaims its
     // half-open ends).
-    let peers = d.platform.hv.events.peers_of(nb);
+    let peers = d.platform.hv.peers_of(nb);
     assert!(
         peers.len() <= live.len() + 1,
         "netback peers {} vs live {}",
