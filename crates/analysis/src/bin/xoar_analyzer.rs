@@ -6,10 +6,11 @@
 //! byte-stable across runs (simulated time, sorted collections). Exits
 //! nonzero iff any rule fires.
 //!
-//! `--selftest` instead injects two known violations into the captured
-//! snapshot (a blanket-foreign NetBack and an undeclared guest grant)
-//! and verifies the rules catch both — proving the analyzer itself has
-//! teeth before CI trusts its clean run.
+//! `--selftest` instead injects known violations into the captured
+//! snapshot (a blanket-foreign NetBack, an undeclared guest grant, raw
+//! frame aliases — including one between a clone template and its
+//! stamped clone) and verifies the rules catch each — proving the
+//! analyzer itself has teeth before CI trusts its clean run.
 
 use std::process::ExitCode;
 
@@ -126,6 +127,27 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
         cow: false,
         frozen: true,
     });
+    // Injection 5: a snapshot-fork pair — the scenario's sealed template
+    // and its stamped clone — aliasing a frame *outside* the template
+    // fan-out (which the capture marks `cow`, since a clone's first
+    // write breaks it). A stamp-path bug handing a clone a raw view of
+    // a template frame is exactly this shape, and no grant runs between
+    // the pair, so the sharing rule must fire.
+    let template = snap
+        .live_domains()
+        .find(|d| d.name == "golden")
+        .map(|d| d.id);
+    let clone = snap.live_domains().find(|d| d.name == "fx-0").map(|d| d.id);
+    let (Some(template), Some(clone)) = (template, clone) else {
+        eprintln!("xoar-analyzer: selftest: scenario lacks the template/clone pair");
+        return ExitCode::from(2);
+    };
+    snap.shared_frames.push(SharedFrame {
+        mfn: 999_003,
+        mappers: vec![template, clone],
+        cow: false,
+        frozen: false,
+    });
     snap.shared_frames.sort();
 
     // Injection 4 (live platform): a shard abuses the unprivileged
@@ -194,6 +216,15 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
             "selftest: FAIL — frame aliasing (raw_fired={raw_alias_fired} \
              frozen_fired={frozen_alias_fired}; frozen CoW baselines must be exempt)"
         );
+        ok = false;
+    }
+    let clone_alias_fired = violations
+        .iter()
+        .any(|v| v.rule == "undeclared-sharing" && v.detail.contains("mfn 999003"));
+    if clone_alias_fired {
+        println!("selftest: raw template/clone alias fired (stamp path cannot leak)");
+    } else {
+        eprintln!("selftest: FAIL — raw template/clone alias did not fire");
         ok = false;
     }
     if ok {

@@ -5,8 +5,9 @@
 //! tracing enabled from the very first boot-time call and drives one
 //! representative pass over every management and data-path operation the
 //! platform supports (guest creation — PV and HVM —, toolstack
-//! pause/resume/resize, device-model DMA, network and block I/O, a
-//! driver microreboot, guest destruction). [`report`] then diffs every
+//! pause/resume/resize, device-model DMA, network and block I/O,
+//! template capture and snapshot-fork cloning, a driver microreboot,
+//! guest destruction). [`report`] then diffs every
 //! domain's *static* privileged-hypercall whitelist against the calls it
 //! *actually issued*: whatever remains unused is over-privilege the
 //! whitelist could shed.
@@ -86,6 +87,14 @@ pub fn traced_scenario() -> HvResult<Platform> {
     p.blk_submit(pv, xoar_devices::blk::BlkOp::Write, 0, 8)
         .map_err(|e| HvError::InvalidArgument(format!("blk: {e:?}")))?;
     p.process_blkbacks();
+
+    // Snapshot-fork lifecycle: seal a golden template and stamp one
+    // clone from it (`DomctlCloneDomain`, the toolstack's fast-create
+    // whitelist entry). Both stay alive so the analyzer sees the
+    // template-backed sharing as declared edges.
+    let golden = p.create_guest(ts, GuestConfig::evaluation_guest("golden"))?;
+    p.capture_template(ts, golden)?;
+    let _fx = p.clone_guest(ts, golden, "fx-0")?;
 
     // Driver microreboot: the shard snapshots itself, the Builder rolls
     // it back (the §3.3 restart pair).

@@ -18,6 +18,7 @@ use xoar_bench::harness::Harness;
 use xoar_core::boot::BootPlan;
 use xoar_core::platform::{GuestConfig, Platform, PlatformMode, XoarConfig};
 use xoar_core::restart::{RestartEngine, RestartPath, RestartPolicy};
+use xoar_hypervisor::memory::Pfn;
 use xoar_hypervisor::privilege::{IoPortRange, MmioRange};
 use xoar_hypervisor::{DomId, Hypercall, HypercallId, PrivilegeSet};
 use xoar_sim::workloads::smp::SmpWorkload;
@@ -161,6 +162,10 @@ fn bench_platform_construction(h: &mut Harness) {
         black_box(Platform::xoar(XoarConfig::default()));
     });
     {
+        // ~200 µs per create/destroy pair: wall-clock calibration alone
+        // would give single-digit batches, small enough that one
+        // scheduler hiccup lands in the p95. Floor the batch instead.
+        group.min_iterations(24);
         let mut p = Platform::xoar(XoarConfig::default());
         let ts = p.services.toolstacks[0];
         let mut n = 0;
@@ -176,6 +181,98 @@ fn bench_platform_construction(h: &mut Harness) {
     group.finish();
 }
 
+fn bench_cloning(h: &mut Harness) {
+    let mut group = h.group("ablation/clone");
+    {
+        // The snapshot-fork fast path: stamp a domain from a sealed
+        // template through `DomctlCloneDomain` — per-clone cost is region
+        // setup only (4 privatized ring pages, no Builder round-trip, no
+        // page copies). Clones accumulate across iterations: each holds
+        // O(1) frames, and accumulation keeps destroy cost out of the
+        // measurement.
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let mut cfg = GuestConfig::evaluation_guest("lambda-golden");
+        cfg.memory_mib = 64;
+        cfg.vcpus = 1;
+        cfg.disk_bytes = 1 << 30;
+        let tpl = p.create_guest(ts, cfg).unwrap();
+        // Names are setup, not clone cost: pre-render them so the timed
+        // loop measures the hypercall alone (iter_batched-style).
+        let names: Vec<String> = (0..120_000).map(|i| format!("fx{i}")).collect();
+        let mut n = 0;
+        group.bench_function("clone_from_template", || {
+            let name = names[n % names.len()].clone();
+            n += 1;
+            p.hv.hypercall(
+                black_box(ts),
+                Hypercall::DomctlCloneDomain {
+                    template: tpl,
+                    name,
+                },
+            )
+            .unwrap();
+        });
+    }
+    {
+        // The toolstack-visible path on top of the hypercall: XenStore
+        // subtree stamping, device wiring and CoW disk attach included.
+        // A create/destroy pair like `guest_creation_xoar` — device
+        // wiring consumes backend event ports, so clones must not
+        // accumulate across calibration-sized iteration counts.
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let tpl = p
+            .create_guest(ts, GuestConfig::evaluation_guest("golden"))
+            .unwrap();
+        p.capture_template(ts, tpl).unwrap();
+        let mut n = 0;
+        group.bench_function("clone_guest_full", || {
+            n += 1;
+            let g = p.clone_guest(ts, tpl, &format!("fn{n}")).unwrap();
+            p.destroy_guest(ts, g).unwrap();
+        });
+    }
+    {
+        // First guest write to a shared template page: allocate a private
+        // frame, copy, rewire the p2m. Each iteration breaks a fresh pfn;
+        // when a clone's address space is exhausted a new clone is
+        // stamped (its cost amortises over thousands of breaks).
+        let mut p = Platform::xoar(XoarConfig::default());
+        let ts = p.services.toolstacks[0];
+        let mut cfg = GuestConfig::evaluation_guest("break-golden");
+        cfg.memory_mib = 1024;
+        cfg.vcpus = 1;
+        let tpl = p.create_guest(ts, cfg).unwrap();
+        let watermark = 1024u64; // builder populate: one frame per MiB
+        let mut clone_n = 0;
+        let mut fresh_clone = |p: &mut Platform| {
+            clone_n += 1;
+            match p.hv.hypercall(
+                ts,
+                Hypercall::DomctlCloneDomain {
+                    template: tpl,
+                    name: format!("bw{clone_n}"),
+                },
+            ) {
+                Ok(xoar_hypervisor::HypercallRet::DomId(d)) => d,
+                other => panic!("clone for break bench: {other:?}"),
+            }
+        };
+        let mut cur = fresh_clone(&mut p);
+        let mut pfn = 8u64; // skip magic and privatized ring pages
+        group.bench_function("first_write_break", || {
+            if pfn >= watermark {
+                cur = fresh_clone(&mut p);
+                pfn = 8;
+            }
+            p.hv.mem.write(cur, Pfn(pfn), black_box(b"w")).unwrap();
+            pfn += 1;
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_privilege_checks(&mut h);
@@ -184,5 +281,6 @@ fn main() {
     bench_boot_plans(&mut h);
     bench_vcpu_scaling(&mut h);
     bench_platform_construction(&mut h);
+    bench_cloning(&mut h);
     h.emit_json();
 }

@@ -41,7 +41,7 @@ const MICRO_HOT_PATHS: [&str; 14] = [
 
 /// Entries the ablation gate enforces: the Figure 5.1 per-request
 /// restart overhead and the slow/fast driver-restart paths of §6.1.2.
-const ABLATION_HOT_PATHS: [&str; 7] = [
+const ABLATION_HOT_PATHS: [&str; 9] = [
     "ablation/xenstore_split/request_no_restart",
     "ablation/xenstore_split/request_with_per_request_restart",
     "ablation/restart_paths/slow",
@@ -49,18 +49,30 @@ const ABLATION_HOT_PATHS: [&str; 7] = [
     "ablation/vcpu_scaling/rq1",
     "ablation/vcpu_scaling/rq2",
     "ablation/vcpu_scaling/rq4",
+    "ablation/clone/clone_from_template",
+    "ablation/clone/first_write_break",
 ];
 
 /// Fresh-run self-comparison rules for the ablation set: `(faster,
-/// slower)` pairs whose medians must satisfy `faster <= slower` within
-/// the same run. Baselines drift with the host; a within-run ordering
-/// does not, so these encode claims the numbers must never invert —
-/// the parallel Xoar boot DAG regressing past the serial Dom0 chain
-/// was exactly such an inversion.
-const ABLATION_ORDERINGS: [(&str, &str); 1] = [(
-    "ablation/boot_plans/parallel_xoar",
-    "ablation/boot_plans/serial_dom0",
-)];
+/// slower, ratio)` triples whose medians must satisfy `faster <=
+/// slower * ratio` within the same run. Baselines drift with the host;
+/// a within-run comparison does not, so these encode claims the
+/// numbers must never invert — the parallel Xoar boot DAG regressing
+/// past the serial Dom0 chain (ratio 1: a plain ordering), or the
+/// snapshot-fork clone stamp losing its two-orders-of-magnitude
+/// advantage over a full Builder-path guest creation (ratio 1/100).
+const ABLATION_ORDERINGS: [(&str, &str, f64); 2] = [
+    (
+        "ablation/boot_plans/parallel_xoar",
+        "ablation/boot_plans/serial_dom0",
+        1.0,
+    ),
+    (
+        "ablation/clone/clone_from_template",
+        "ablation/platform_construction/guest_creation_xoar",
+        0.01,
+    ),
+];
 
 /// Entries whose p95 tail is bounded relative to their own median.
 const TAIL_PATHS: [&str; 4] = [
@@ -201,25 +213,27 @@ fn gate(hot_paths: &[&str], baseline: &[Entry], fresh: &[Entry]) -> bool {
 }
 
 /// Applies the within-run ordering rules; returns whether any failed.
-fn orderings(rules: &[(&str, &str)], fresh: &[Entry]) -> bool {
+fn orderings(rules: &[(&str, &str, f64)], fresh: &[Entry]) -> bool {
     let mut failed = false;
-    for &(faster, slower) in rules {
+    for &(faster, slower, ratio) in rules {
         let (Some(a), Some(b)) = (find(fresh, faster), find(fresh, slower)) else {
             eprintln!(
-                "bench-gate: FAIL ordering {faster} <= {slower}: entry missing from fresh run"
+                "bench-gate: FAIL ordering {faster} <= {ratio} * {slower}: \
+                 entry missing from fresh run"
             );
             failed = true;
             continue;
         };
-        if a.median_ns <= b.median_ns {
+        let bound = b.median_ns * ratio;
+        if a.median_ns <= bound {
             println!(
-                "bench-gate: ok   ordering {faster} ({:.1} ns) <= {slower} ({:.1} ns)",
-                a.median_ns, b.median_ns
+                "bench-gate: ok   ordering {faster} ({:.1} ns) <= {ratio} * {slower} ({:.1} ns)",
+                a.median_ns, bound
             );
         } else {
             eprintln!(
-                "bench-gate: FAIL ordering {faster} ({:.1} ns) > {slower} ({:.1} ns)",
-                a.median_ns, b.median_ns
+                "bench-gate: FAIL ordering {faster} ({:.1} ns) > {ratio} * {slower} ({:.1} ns)",
+                a.median_ns, bound
             );
             failed = true;
         }
@@ -231,7 +245,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (hot_paths, order_rules, baseline_path, fresh_path): (
         &[&str],
-        &[(&str, &str)],
+        &[(&str, &str, f64)],
         &str,
         &str,
     ) = match &args[1..] {
@@ -357,16 +371,30 @@ mod tests {
 
     #[test]
     fn ordering_rule_catches_inversion() {
-        let (fast, slow) = ABLATION_ORDERINGS[0];
+        let (fast, slow, _) = ABLATION_ORDERINGS[0];
+        let rules = &ABLATION_ORDERINGS[..1];
         let good = vec![entry(fast, 900.0, 1000.0), entry(slow, 1300.0, 1400.0)];
         let inverted = vec![entry(fast, 1300.0, 1400.0), entry(slow, 900.0, 1000.0)];
-        assert!(!orderings(&ABLATION_ORDERINGS, &good));
-        assert!(orderings(&ABLATION_ORDERINGS, &inverted));
+        assert!(!orderings(rules, &good));
+        assert!(orderings(rules, &inverted));
+    }
+
+    #[test]
+    fn scaled_ordering_rule_enforces_the_clone_speedup() {
+        let (clone, create, ratio) = ABLATION_ORDERINGS[1];
+        assert_eq!(ratio, 0.01);
+        let rules = &ABLATION_ORDERINGS[1..];
+        // 1.5 µs clone vs 220 µs create: two orders of magnitude, ok.
+        let good = vec![entry(clone, 1500.0, 3000.0), entry(create, 220_000.0, 1.0)];
+        // 3 µs clone vs 220 µs create: only 73x — the fast path decayed.
+        let decayed = vec![entry(clone, 3000.0, 6000.0), entry(create, 220_000.0, 1.0)];
+        assert!(!orderings(rules, &good));
+        assert!(orderings(rules, &decayed));
     }
 
     #[test]
     fn ordering_rule_fails_on_missing_entries() {
-        let (fast, _) = ABLATION_ORDERINGS[0];
+        let (fast, _, _) = ABLATION_ORDERINGS[0];
         assert!(orderings(&ABLATION_ORDERINGS, &[entry(fast, 1.0, 2.0)]));
         assert!(orderings(&ABLATION_ORDERINGS, &[]));
     }

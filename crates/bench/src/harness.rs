@@ -68,6 +68,7 @@ xoar_codec::impl_json_struct!(BenchResult {
 #[derive(Debug, Default)]
 pub struct Harness {
     samples: Option<usize>,
+    min_iterations: Option<u64>,
     results: Vec<BenchResult>,
 }
 
@@ -83,10 +84,21 @@ impl Harness {
         self
     }
 
+    /// Floors the calibrated batch size for subsequent benchmarks.
+    ///
+    /// Calibration sizes the batch by wall-clock target, so an expensive
+    /// benchmark can end up with a handful of iterations per sample —
+    /// few enough that one scheduler hiccup lands in the p95. A floor
+    /// trades runtime for stability on such entries.
+    pub fn min_iterations(mut self, n: u64) -> Self {
+        self.min_iterations = Some(n.max(1));
+        self
+    }
+
     /// Runs one benchmark: calibrate, warm up, time, record, print.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut()) -> &BenchResult {
         let samples = self.samples.unwrap_or(DEFAULT_SAMPLES);
-        let result = run_bench(name, samples, f);
+        let result = run_bench(name, samples, self.min_iterations.unwrap_or(1), f);
         println!(
             "bench  {:<44} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples x {} iters)",
             result.name, result.median_ns, result.p95_ns, result.samples, result.iterations
@@ -102,6 +114,7 @@ impl Harness {
             harness: self,
             prefix: name.to_string(),
             samples: None,
+            min_iterations: None,
         }
     }
 
@@ -131,6 +144,7 @@ pub struct Group<'a> {
     harness: &'a mut Harness,
     prefix: String,
     samples: Option<usize>,
+    min_iterations: Option<u64>,
 }
 
 impl Group<'_> {
@@ -140,14 +154,25 @@ impl Group<'_> {
         self
     }
 
+    /// Floors the calibrated batch size for this group only (see
+    /// [`Harness::min_iterations`]).
+    pub fn min_iterations(&mut self, n: u64) -> &mut Self {
+        self.min_iterations = Some(n.max(1));
+        self
+    }
+
     /// Runs one benchmark under the group's prefix.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut()) {
         let samples = self
             .samples
             .or(self.harness.samples)
             .unwrap_or(DEFAULT_SAMPLES);
+        let min_iters = self
+            .min_iterations
+            .or(self.harness.min_iterations)
+            .unwrap_or(1);
         let full = format!("{}/{name}", self.prefix);
-        let result = run_bench(&full, samples, f);
+        let result = run_bench(&full, samples, min_iters, f);
         println!(
             "bench  {:<44} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples x {} iters)",
             result.name, result.median_ns, result.p95_ns, result.samples, result.iterations
@@ -159,14 +184,17 @@ impl Group<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench(name: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
-    // Calibrate: size the batch so one sample takes ~TARGET_SAMPLE_NS.
+fn run_bench(name: &str, samples: usize, min_iterations: u64, mut f: impl FnMut()) -> BenchResult {
+    // Calibrate: size the batch so one sample takes ~TARGET_SAMPLE_NS
+    // (the calibration call doubles as the first warm-up iteration).
     let once = {
         let t = Instant::now();
         f();
         t.elapsed().as_nanos().max(1)
     };
-    let iterations = ((TARGET_SAMPLE_NS / once).max(1) as u64).min(MAX_BATCH);
+    let iterations = ((TARGET_SAMPLE_NS / once).max(1) as u64)
+        .max(min_iterations)
+        .min(MAX_BATCH);
 
     // Warm up for one full batch.
     for _ in 0..iterations {
@@ -239,6 +267,26 @@ mod tests {
         // The document parses back through the codec.
         let parsed = xoar_codec::parse(&json).unwrap();
         assert!(parsed.get("results").is_some());
+    }
+
+    #[test]
+    fn min_iterations_floors_the_calibrated_batch() {
+        // A ~1 ms body calibrates to ~2 iterations; the floor overrides.
+        let mut h = Harness::new().samples(2).min_iterations(8);
+        h.bench_function("slow_body", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(h.results()[0].iterations >= 8);
+
+        // Group-level floor wins over the harness default.
+        let mut h = Harness::new().samples(2);
+        let mut g = h.group("g");
+        g.min_iterations(5);
+        g.bench_function("slow_body", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        g.finish();
+        assert!(h.results()[0].iterations >= 5);
     }
 
     #[test]

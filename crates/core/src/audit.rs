@@ -37,6 +37,15 @@ pub enum AuditEvent {
         /// The guest.
         guest: DomId,
     },
+    /// A guest VM was snapshot-forked from a sealed template.
+    VmCloned {
+        /// The new clone.
+        guest: DomId,
+        /// The template it was forked from.
+        template: DomId,
+        /// The managing toolstack domain.
+        toolstack: DomId,
+    },
     /// A guest was linked to a service shard (device attach).
     ShardLinked {
         /// The guest.
@@ -86,6 +95,7 @@ pub enum AuditEvent {
 xoar_codec::impl_json_enum!(AuditEvent {
     VmCreated { guest, name, toolstack },
     VmDestroyed { guest },
+    VmCloned { guest, template, toolstack },
     ShardLinked { guest, shard, kind, release },
     ShardUnlinked { guest, shard },
     ShardRestarted { shard, pages_restored },

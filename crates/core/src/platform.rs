@@ -193,6 +193,40 @@ pub struct Platform {
     /// Constraint tags currently adopted by shard instances.
     shard_tags: HashMap<DomId, ConstraintTag>,
     guests: HashMap<DomId, GuestHandle>,
+    /// Sealed clone templates, keyed by the template domain.
+    templates: HashMap<DomId, GuestTemplate>,
+}
+
+/// A sealed snapshot-fork template: everything needed to stamp out new
+/// guests without a Builder round-trip.
+///
+/// The memory image lives in the hypervisor (frozen, refcounted frames
+/// armed by `DomctlCloneDomain`); this struct carries the platform-level
+/// remainder — the XenStore subtree, the device topology, and the root
+/// image every clone shares until its first block write.
+#[derive(Debug)]
+pub struct GuestTemplate {
+    /// The sealed template domain.
+    pub dom: DomId,
+    /// Template guest name (clones get their own names).
+    pub name: String,
+    /// The capturing toolstack.
+    pub toolstack: DomId,
+    /// Sharing constraint inherited by clones.
+    pub constraint: ConstraintTag,
+    /// Memory reservation clones are accounted at, MiB.
+    pub memory_mib: u64,
+    /// Root disk image clones share (copy-on-write at the image level is
+    /// out of scope; clones attach read-mostly to the template's image).
+    pub image: String,
+    /// Serving NetBack for the template's vif.
+    pub netback: Option<DomId>,
+    /// Serving BlkBack for the template's vbd.
+    pub blkback: Option<DomId>,
+    /// Captured `/local/domain/<id>` subtree as (relative path, value).
+    guest_nodes: Vec<(String, String)>,
+    /// Captured backend rows: (backend, kind, index, relative key, value).
+    backend_nodes: Vec<(DomId, DeviceKind, u32, String, String)>,
 }
 
 /// Software releases recorded in the audit log at link time.
@@ -249,6 +283,7 @@ impl Platform {
             xoar_config: None,
             shard_tags: HashMap::new(),
             guests: HashMap::new(),
+            templates: HashMap::new(),
             hv,
             xs,
         }
@@ -428,6 +463,7 @@ impl Platform {
             xoar_config: Some(cfg),
             shard_tags: HashMap::new(),
             guests: HashMap::new(),
+            templates: HashMap::new(),
             hv,
             xs,
         }
@@ -832,8 +868,351 @@ impl Platform {
         }
         self.console_mgr.remove_guest(guest);
         let _ = self.xs.remove_domain(self.services.xenstore, guest);
+        self.templates.remove(&guest);
         self.audit.append(now, AuditEvent::VmDestroyed { guest });
         Ok(())
+    }
+
+    // ================= snapshot-fork cloning =================
+
+    /// The sealed template captured from `dom`, if any.
+    pub fn template(&self, dom: DomId) -> Option<&GuestTemplate> {
+        self.templates.get(&dom)
+    }
+
+    /// Captures a pre-booted guest as a clone template.
+    ///
+    /// The guest is paused in place; its XenStore subtree (frontend and
+    /// backend rows) is recorded so clones can be stamped without the
+    /// toolstack re-deriving any of it. The memory image is sealed lazily
+    /// by the first `DomctlCloneDomain` (frozen, refcounted frames).
+    pub fn capture_template(&mut self, toolstack: DomId, guest: DomId) -> HvResult<()> {
+        let handle = self
+            .guests
+            .get(&guest)
+            .ok_or(HvError::NoSuchDomain(guest))?;
+        if handle.toolstack != toolstack {
+            return Err(HvError::PermissionDenied {
+                caller: toolstack,
+                privilege: format!("capture of guest {guest} managed elsewhere"),
+            });
+        }
+        if handle.qemu.is_some() {
+            return Err(HvError::InvalidArgument(
+                "HVM guests with device models cannot be templates".into(),
+            ));
+        }
+        let (name, constraint, netback, blkback) = (
+            handle.name.clone(),
+            handle.constraint.clone(),
+            handle.netback,
+            handle.blkback,
+        );
+        if self.hv.domain(guest)?.state == DomainState::Running {
+            self.hv
+                .hypercall(toolstack, Hypercall::DomctlPauseDomain { target: guest })?;
+        }
+        // Capture the guest's own subtree, then the backend rows that
+        // reference it (toolstacks are XenStore-privileged, so the walk
+        // sees every node).
+        let root = format!("/local/domain/{}", guest.0);
+        let mut guest_nodes = Vec::new();
+        self.walk_subtree(toolstack, &root, "", &mut guest_nodes);
+        let mut backend_nodes = Vec::new();
+        for (backend, kind) in [(netback, DeviceKind::Vif), (blkback, DeviceKind::Vbd)] {
+            let Some(backend) = backend else { continue };
+            let bp = xenbus::backend_path(backend, kind, guest, 0);
+            let mut rows = Vec::new();
+            self.walk_subtree(toolstack, &bp, "", &mut rows);
+            backend_nodes.extend(
+                rows.into_iter()
+                    .map(|(suffix, value)| (backend, kind, 0u32, suffix, value)),
+            );
+        }
+        let memory_mib = self.hv.domain(guest)?.memory_mib;
+        self.templates.insert(
+            guest,
+            GuestTemplate {
+                dom: guest,
+                name: name.clone(),
+                toolstack,
+                constraint,
+                memory_mib,
+                image: format!("{name}-root.img"),
+                netback,
+                blkback,
+                guest_nodes,
+                backend_nodes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Depth-first capture of a XenStore subtree as (relative path, value).
+    fn walk_subtree(
+        &mut self,
+        actor: DomId,
+        root: &str,
+        prefix: &str,
+        out: &mut Vec<(String, String)>,
+    ) {
+        let node = if prefix.is_empty() {
+            root.to_string()
+        } else {
+            format!("{root}/{prefix}")
+        };
+        if !prefix.is_empty() {
+            if let Ok(v) = self.xs.read_str(actor, &node) {
+                out.push((prefix.to_string(), v));
+            }
+        }
+        let Ok(children) = self.xs.directory(actor, &node) else {
+            return;
+        };
+        for child in children {
+            let next = if prefix.is_empty() {
+                child
+            } else {
+                format!("{prefix}/{child}")
+            };
+            self.walk_subtree(actor, root, &next, out);
+        }
+    }
+
+    /// Rewrites captured XenStore text for a clone: the template's domain
+    /// ID is retargeted wherever the xenbus conventions embed it.
+    fn retarget(value: &str, from: DomId, to: DomId) -> String {
+        if value == from.0.to_string() {
+            return to.0.to_string();
+        }
+        value
+            .replace(
+                &format!("/domain/{}/", from.0),
+                &format!("/domain/{}/", to.0),
+            )
+            .replace(&format!("/vif/{}/", from.0), &format!("/vif/{}/", to.0))
+            .replace(&format!("/vbd/{}/", from.0), &format!("/vbd/{}/", to.0))
+    }
+
+    /// Snapshot-fork fast path: stamps a new guest from a sealed template.
+    ///
+    /// No Builder round-trip and no page copies: the hypervisor forks the
+    /// address space copy-on-write (`DomctlCloneDomain`, which also
+    /// replays the template's grant entries against privatised ring
+    /// pages), then this method stamps the captured XenStore subtree,
+    /// binds fresh event channels, and attaches the clone to the
+    /// template's backends — sharing its root image CoW.
+    pub fn clone_guest(
+        &mut self,
+        toolstack: DomId,
+        template: DomId,
+        name: &str,
+    ) -> HvResult<DomId> {
+        let tpl = self
+            .templates
+            .get(&template)
+            .ok_or(HvError::NoSuchDomain(template))?;
+        if tpl.toolstack != toolstack {
+            return Err(HvError::PermissionDenied {
+                caller: toolstack,
+                privilege: format!("clone of template {template} captured elsewhere"),
+            });
+        }
+        let (constraint, image, netback, blkback) = (
+            tpl.constraint.clone(),
+            tpl.image.clone(),
+            tpl.netback,
+            tpl.blkback,
+        );
+        let clone = self
+            .hv
+            .hypercall(
+                toolstack,
+                Hypercall::DomctlCloneDomain {
+                    template,
+                    name: name.to_string(),
+                },
+            )?
+            .dom_id();
+        let now = self.hv.now_ns();
+        self.audit.append(
+            now,
+            AuditEvent::VmCloned {
+                guest: clone,
+                template,
+                toolstack,
+            },
+        );
+
+        // Stamp the captured XenStore subtree under the clone's home.
+        self.xs
+            .create_domain_home(toolstack, clone)
+            .map_err(|e| HvError::InvalidArgument(format!("xenstore: {e}")))?;
+        let tpl = &self.templates[&template];
+        let home = format!("/local/domain/{}", clone.0);
+        let guest_writes: Vec<(String, String)> = tpl
+            .guest_nodes
+            .iter()
+            .map(|(suffix, value)| {
+                (
+                    format!("{home}/{suffix}"),
+                    Self::retarget(value, template, clone),
+                )
+            })
+            .collect();
+        let backend_writes: Vec<(String, String)> = tpl
+            .backend_nodes
+            .iter()
+            .map(|(backend, kind, index, suffix, value)| {
+                (
+                    format!(
+                        "{}/{}",
+                        xenbus::backend_path(*backend, *kind, clone, *index),
+                        suffix
+                    ),
+                    Self::retarget(value, template, clone),
+                )
+            })
+            .collect();
+        for (path, value) in guest_writes.iter().chain(backend_writes.iter()) {
+            self.xs
+                .write_str(toolstack, path, value)
+                .map_err(|e| HvError::InvalidArgument(format!("xenstore: {e}")))?;
+        }
+        let _ = self.xs.write_str(toolstack, &format!("{home}/name"), name);
+
+        // Wire the split devices against the grants `DomctlCloneDomain`
+        // stamped: fresh event channels, same backends, no renegotiation.
+        let netfront = match netback {
+            Some(nb) => Some(NetFront::new(self.wire_cloned_device(
+                clone,
+                nb,
+                DeviceKind::Vif,
+                Pfn(4),
+                now,
+                ShardKind::NetBack,
+                NETBACK_RELEASE,
+            )?)),
+            None => None,
+        };
+        let blkfront = match blkback {
+            Some(bb) => {
+                let conn = self.wire_cloned_device(
+                    clone,
+                    bb,
+                    DeviceKind::Vbd,
+                    Pfn(6),
+                    now,
+                    ShardKind::BlkBack,
+                    BLKBACK_RELEASE,
+                )?;
+                let idx = self
+                    .services
+                    .blkbacks
+                    .iter()
+                    .position(|d| *d == bb)
+                    .unwrap();
+                self.blkbacks[idx]
+                    .attach_cow(conn, &image)
+                    .map_err(HvError::InvalidArgument)?;
+                Some(BlkFront::new(conn))
+            }
+            None => None,
+        };
+
+        self.console_mgr.register_guest(clone);
+        self.guests.insert(
+            clone,
+            GuestHandle {
+                dom: clone,
+                name: name.to_string(),
+                constraint,
+                toolstack,
+                netfront,
+                blkfront,
+                netback,
+                blkback,
+                qemu: None,
+            },
+        );
+        Ok(clone)
+    }
+
+    /// Connects one split device of a freshly stamped clone: locates the
+    /// grant `DomctlCloneDomain` replayed for the ring page, binds a fresh
+    /// event-channel pair, and registers the ring with the hub.
+    #[allow(clippy::too_many_arguments)]
+    fn wire_cloned_device(
+        &mut self,
+        clone: DomId,
+        backend: DomId,
+        kind: DeviceKind,
+        ring_pfn: Pfn,
+        now: u64,
+        shard_kind: ShardKind,
+        release: &str,
+    ) -> HvResult<xenbus::Connection> {
+        let gref = self
+            .hv
+            .grant_table(clone)
+            .ok_or(HvError::NoSuchDomain(clone))?
+            .granted_to(backend)
+            .into_iter()
+            .find(|(_, e)| e.pfn == ring_pfn)
+            .map(|(gref, _)| gref)
+            .ok_or_else(|| {
+                HvError::InvalidArgument(format!("no stamped {} ring grant", kind.name()))
+            })?;
+        let front_port = self
+            .hv
+            .hypercall(clone, Hypercall::EvtchnAllocUnbound { remote: backend })?
+            .port();
+        let back_port = self
+            .hv
+            .hypercall(
+                backend,
+                Hypercall::EvtchnBindInterdomain {
+                    remote: clone,
+                    remote_port: front_port,
+                },
+            )?
+            .port();
+        let ring = xoar_devices::RingId {
+            granter: clone,
+            gref,
+        };
+        match kind {
+            DeviceKind::Vif => self.net_hub.create(ring),
+            _ => self.blk_hub.create(ring),
+        };
+        let conn = xenbus::Connection {
+            guest: clone,
+            backend,
+            kind,
+            index: 0,
+            ring,
+            front_port,
+            back_port,
+        };
+        if kind == DeviceKind::Vif {
+            let idx = self
+                .services
+                .netbacks
+                .iter()
+                .position(|d| *d == backend)
+                .unwrap();
+            self.netbacks[idx].attach(conn);
+        }
+        self.audit.append(
+            now,
+            AuditEvent::ShardLinked {
+                guest: clone,
+                shard: backend,
+                kind: shard_kind,
+                release: release.into(),
+            },
+        );
+        Ok(conn)
     }
 
     // ================= constraint groups =================

@@ -328,6 +328,7 @@ impl ShardSpec {
                 DomctlSetMaxMem,
                 DomctlSetVcpus,
                 DomctlDestroyDomain,
+                DomctlCloneDomain,
                 SysctlPhysinfo,
             ],
             ShardKind::QemuVm => vec![MmuMapForeign, MmuWriteForeign],
@@ -585,6 +586,7 @@ mod tests {
                 DomctlSetMaxMem,
                 DomctlSetVcpus,
                 DomctlDestroyDomain,
+                DomctlCloneDomain,
                 SysctlPhysinfo,
             ],
         );

@@ -13,6 +13,8 @@
 //! "resource usage quotas enforced by the virtualization platform"), and
 //! proxied disk-image administration via BlkBack's daemon (§5.4).
 
+use std::collections::HashMap;
+
 use xoar_hypervisor::{DomId, DomainState, HvError, HvResult, Hypercall};
 
 use crate::platform::{GuestConfig, Platform};
@@ -76,6 +78,10 @@ pub struct Toolstack {
     /// Accumulated usage counted against the quota.
     used_memory_mib: u64,
     used_disk_bytes: u64,
+    /// What each live guest was actually charged at creation time
+    /// (memory MiB, disk bytes), so destroy releases exactly that —
+    /// clones charge zero disk, and resizes keep the books straight.
+    reservations: HashMap<DomId, (u64, u64)>,
 }
 
 impl Toolstack {
@@ -90,6 +96,7 @@ impl Toolstack {
             quota: ResourceQuota::unlimited(),
             used_memory_mib: 0,
             used_disk_bytes: 0,
+            reservations: HashMap::new(),
         }
     }
 
@@ -122,19 +129,47 @@ impl Toolstack {
         let guest = platform.create_guest(self.dom, cfg)?;
         self.used_memory_mib += mem;
         self.used_disk_bytes += disk;
+        self.reservations.insert(guest, (mem, disk));
+        Ok(guest)
+    }
+
+    /// `xl snapshot-capture` — seals a running guest as a clone template.
+    pub fn capture_template(&self, platform: &mut Platform, guest: DomId) -> HvResult<()> {
+        platform.capture_template(self.dom, guest)
+    }
+
+    /// `xl clone` — the snapshot-fork fast path: stamps a new guest from
+    /// a sealed template with no Builder round-trip. Clones are charged
+    /// their memory reservation but zero disk (they share the template's
+    /// root image copy-on-write).
+    pub fn clone(
+        &mut self,
+        platform: &mut Platform,
+        template: DomId,
+        name: &str,
+    ) -> HvResult<DomId> {
+        if self.list(platform).len() >= self.quota.max_vms {
+            return Err(HvError::LimitExceeded("toolstack VM quota"));
+        }
+        let mem = platform
+            .template(template)
+            .ok_or(HvError::NoSuchDomain(template))?
+            .memory_mib;
+        if self.used_memory_mib.saturating_add(mem) > self.quota.max_memory_mib {
+            return Err(HvError::LimitExceeded("toolstack memory quota"));
+        }
+        let guest = platform.clone_guest(self.dom, template, name)?;
+        self.used_memory_mib += mem;
+        self.reservations.insert(guest, (mem, 0));
         Ok(guest)
     }
 
     /// `xl destroy`.
     pub fn destroy(&mut self, platform: &mut Platform, guest: DomId) -> HvResult<()> {
-        let (mem, disk) = platform
-            .guest(guest)
-            .map(|h| {
-                let d = platform.hv.domain(h.dom).map(|d| d.memory_mib).unwrap_or(0);
-                (d, 15 * 1024 * 1024 * 1024u64)
-            })
-            .unwrap_or((0, 0));
         platform.destroy_guest(self.dom, guest)?;
+        // Release exactly what this guest was charged — not an assumed
+        // config — so quotas don't drift across create/destroy churn.
+        let (mem, disk) = self.reservations.remove(&guest).unwrap_or((0, 0));
         self.used_memory_mib = self.used_memory_mib.saturating_sub(mem);
         self.used_disk_bytes = self.used_disk_bytes.saturating_sub(disk);
         Ok(())
@@ -171,6 +206,9 @@ impl Toolstack {
             },
         )?;
         self.used_memory_mib = new_used;
+        if let Some(r) = self.reservations.get_mut(&guest) {
+            r.0 = mib;
+        }
         Ok(())
     }
 
@@ -253,6 +291,11 @@ impl Toolstack {
     /// Memory currently counted against this toolstack's quota.
     pub fn used_memory_mib(&self) -> u64 {
         self.used_memory_mib
+    }
+
+    /// Disk bytes currently counted against this toolstack's quota.
+    pub fn used_disk_bytes(&self) -> u64 {
+        self.used_disk_bytes
     }
 }
 
@@ -369,6 +412,80 @@ mod tests {
             ts.create(&mut p, cfg("b")),
             Err(HvError::LimitExceeded("toolstack disk quota"))
         ));
+    }
+
+    #[test]
+    fn disk_accounting_releases_actual_reservation() {
+        // Regression: destroy used to release a hardcoded 15 GiB instead
+        // of the guest's real disk_bytes, so quotas drifted with every
+        // create/destroy cycle of a non-default guest.
+        let mut p = platform2();
+        let mut ts = Toolstack::new(&p, 0).with_quota(ResourceQuota {
+            max_disk_bytes: 64 << 30,
+            ..ResourceQuota::unlimited()
+        });
+        for i in 0..4 {
+            let mut c = cfg(&format!("churn-{i}"));
+            c.disk_bytes = 20 << 30; // Not the 15 GiB default.
+            let g = ts.create(&mut p, c).unwrap();
+            assert_eq!(ts.used_disk_bytes(), 20 << 30);
+            ts.destroy(&mut p, g).unwrap();
+            assert_eq!(
+                ts.used_disk_bytes(),
+                0,
+                "books must return to zero after churn round {i}"
+            );
+        }
+        // After the churn the full quota is still available.
+        let mut big = cfg("big");
+        big.disk_bytes = 60 << 30;
+        ts.create(&mut p, big).unwrap();
+    }
+
+    #[test]
+    fn clones_charge_memory_but_no_disk() {
+        let mut p = platform2();
+        let mut ts = Toolstack::new(&p, 0);
+        let tpl = ts.create(&mut p, cfg("golden")).unwrap();
+        ts.capture_template(&mut p, tpl).unwrap();
+        let disk_before = ts.used_disk_bytes();
+        let c = ts.clone(&mut p, tpl, "fn-0").unwrap();
+        assert_eq!(ts.used_disk_bytes(), disk_before, "clones share the image");
+        assert_eq!(ts.used_memory_mib(), 2048, "clone charged its reservation");
+        ts.destroy(&mut p, c).unwrap();
+        assert_eq!(ts.used_memory_mib(), 1024);
+        assert_eq!(ts.used_disk_bytes(), disk_before);
+    }
+
+    #[test]
+    fn clone_quota_enforced() {
+        let mut p = platform2();
+        let mut ts = Toolstack::new(&p, 0).with_quota(ResourceQuota {
+            max_vms: 3,
+            ..ResourceQuota::unlimited()
+        });
+        let tpl = ts.create(&mut p, cfg("golden")).unwrap();
+        ts.capture_template(&mut p, tpl).unwrap();
+        ts.clone(&mut p, tpl, "fn-0").unwrap();
+        ts.clone(&mut p, tpl, "fn-1").unwrap();
+        assert!(matches!(
+            ts.clone(&mut p, tpl, "fn-2"),
+            Err(HvError::LimitExceeded("toolstack VM quota"))
+        ));
+    }
+
+    #[test]
+    fn template_with_live_clones_refuses_destroy_via_facade() {
+        let mut p = platform2();
+        let mut ts = Toolstack::new(&p, 0);
+        let tpl = ts.create(&mut p, cfg("golden")).unwrap();
+        ts.capture_template(&mut p, tpl).unwrap();
+        let c = ts.clone(&mut p, tpl, "fn-0").unwrap();
+        assert!(ts.destroy(&mut p, tpl).is_err());
+        ts.destroy(&mut p, c).unwrap();
+        ts.destroy(&mut p, tpl).unwrap();
+        assert_eq!(ts.used_memory_mib(), 0);
+        assert_eq!(ts.used_disk_bytes(), 0);
     }
 
     #[test]

@@ -95,6 +95,8 @@ pub struct DiskImage {
     pub sectors: u64,
     /// Whether a guest currently has it mounted.
     pub mounted_by: Option<DomId>,
+    /// Copy-on-write readers (clones sharing this golden image).
+    pub cow_mounts: u64,
     /// Page bodies written with a payload, keyed by starting sector.
     /// Values are shared handles — storing a page is a refcount move.
     pages: HashMap<u64, PageRef>,
@@ -127,6 +129,7 @@ impl ImageStore {
                 name: name.to_string(),
                 sectors: bytes.div_ceil(SECTOR_SIZE),
                 mounted_by: None,
+                cow_mounts: 0,
                 pages: HashMap::new(),
             },
         );
@@ -138,6 +141,7 @@ impl ImageStore {
         match self.images.get(name) {
             None => Err(format!("no image {name}")),
             Some(img) if img.mounted_by.is_some() => Err(format!("image {name} is mounted")),
+            Some(img) if img.cow_mounts > 0 => Err(format!("image {name} has CoW readers")),
             Some(_) => {
                 self.images.remove(name);
                 Ok(())
@@ -162,6 +166,25 @@ impl ImageStore {
     pub fn unmount(&mut self, name: &str) {
         if let Some(img) = self.images.get_mut(name) {
             img.mounted_by = None;
+        }
+    }
+
+    /// Mounts an image copy-on-write for a clone: the exclusive mount
+    /// (the template's) stays in place and any number of CoW readers
+    /// share the golden bytes until their first block write.
+    pub fn mount_cow(&mut self, name: &str) -> Result<u64, String> {
+        let img = self
+            .images
+            .get_mut(name)
+            .ok_or(format!("no image {name}"))?;
+        img.cow_mounts += 1;
+        Ok(img.sectors)
+    }
+
+    /// Drops one CoW reader of an image.
+    pub fn unmount_cow(&mut self, name: &str) {
+        if let Some(img) = self.images.get_mut(name) {
+            img.cow_mounts = img.cow_mounts.saturating_sub(1);
         }
     }
 
@@ -196,6 +219,8 @@ struct Attachment {
     sectors: u64,
     /// Last sector touched (sequential-access detection).
     last_sector: Option<u64>,
+    /// Whether this attachment is a CoW reader of a shared golden image.
+    cow: bool,
 }
 
 /// Statistics from one processing pass.
@@ -244,6 +269,20 @@ impl BlkBack {
             image: image.to_string(),
             sectors,
             last_sector: None,
+            cow: false,
+        });
+        Ok(())
+    }
+
+    /// Attaches a clone as a CoW reader of a shared golden image.
+    pub fn attach_cow(&mut self, conn: Connection, image: &str) -> Result<(), String> {
+        let sectors = self.images.mount_cow(image)?;
+        self.attachments.push(Attachment {
+            conn,
+            image: image.to_string(),
+            sectors,
+            last_sector: None,
+            cow: true,
         });
         Ok(())
     }
@@ -255,7 +294,11 @@ impl BlkBack {
             .iter()
             .position(|a| a.conn.guest == guest)?;
         let a = self.attachments.remove(idx);
-        self.images.unmount(&a.image);
+        if a.cow {
+            self.images.unmount_cow(&a.image);
+        } else {
+            self.images.unmount(&a.image);
+        }
         Some(a.conn)
     }
 

@@ -116,6 +116,79 @@ pub struct GrantEntry {
     pub map_count: u32,
 }
 
+/// How many grant refs are indexed inline per grantee before spilling
+/// to the heap. A backend typically holds one or two refs into any
+/// given frontend (its ring pages), so the common posture — including
+/// every snapshot-fork clone's stamped table — allocates nothing.
+const GREF_INLINE: usize = 2;
+
+/// Inline-first list of sorted grant refs (a hand-rolled smallvec; refs
+/// are allocated monotonically and pushed in order, so the slice stays
+/// sorted by construction).
+#[derive(Debug, Clone)]
+enum GrefList {
+    Inline { len: u8, slots: [u32; GREF_INLINE] },
+    Heap(Vec<u32>),
+}
+
+impl Default for GrefList {
+    fn default() -> Self {
+        GrefList::Inline {
+            len: 0,
+            slots: [0; GREF_INLINE],
+        }
+    }
+}
+
+impl GrefList {
+    fn push(&mut self, r: u32) {
+        match self {
+            GrefList::Inline { len, slots } => {
+                if (*len as usize) < GREF_INLINE {
+                    slots[*len as usize] = r;
+                    *len += 1;
+                } else {
+                    let mut v = slots.to_vec();
+                    v.push(r);
+                    *self = GrefList::Heap(v);
+                }
+            }
+            GrefList::Heap(v) => v.push(r),
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            GrefList::Inline { len, slots } => &slots[..*len as usize],
+            GrefList::Heap(v) => v,
+        }
+    }
+
+    /// Removes `r` if present, preserving sorted order.
+    fn remove(&mut self, r: u32) {
+        match self {
+            GrefList::Inline { len, slots } => {
+                let n = *len as usize;
+                if let Ok(i) = slots[..n].binary_search(&r) {
+                    for j in i..n - 1 {
+                        slots[j] = slots[j + 1];
+                    }
+                    *len -= 1;
+                }
+            }
+            GrefList::Heap(v) => {
+                if let Ok(i) = v.binary_search(&r) {
+                    v.remove(i);
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
 /// A single domain's grant table.
 ///
 /// Entries live in a dense array indexed by grant ref, exactly like
@@ -131,7 +204,7 @@ pub struct GrantTable {
     /// Secondary index: grantee → sorted refs of live entries naming it.
     /// Maintained by grant/transfer/revoke so [`GrantTable::granted_to`]
     /// (the per-backend audit query) never scans the whole table.
-    by_grantee: FastMap<DomId, Vec<u32>>,
+    by_grantee: FastMap<DomId, GrefList>,
     next_ref: u32,
     capacity: u32,
 }
@@ -145,7 +218,10 @@ impl GrantTable {
     /// Creates an empty table with the default capacity.
     pub fn new() -> Self {
         GrantTable {
-            entries: Vec::new(),
+            // Sized for the common device posture (xenstore + console
+            // rings plus one vif and one vbd) so a freshly stamped
+            // guest's grants never grow the vector.
+            entries: Vec::with_capacity(4),
             live: 0,
             by_grantee: FastMap::default(),
             next_ref: 0,
@@ -405,7 +481,8 @@ impl GrantTable {
         let Some(refs) = self.by_grantee.get(&grantee) else {
             return Vec::new();
         };
-        refs.iter()
+        refs.as_slice()
+            .iter()
             .filter_map(|&r| {
                 self.entries
                     .get(r as usize)
@@ -421,9 +498,7 @@ impl GrantTable {
 
     fn index_remove(&mut self, grantee: DomId, r: u32) {
         if let Some(refs) = self.by_grantee.get_mut(&grantee) {
-            if let Ok(i) = refs.binary_search(&r) {
-                refs.remove(i);
-            }
+            refs.remove(r);
             if refs.is_empty() {
                 self.by_grantee.remove(&grantee);
             }

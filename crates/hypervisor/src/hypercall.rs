@@ -106,6 +106,13 @@ pub enum HypercallId {
     /// (`__HYPERVISOR_multicall`). Each sub-call is still screened
     /// against the caller's whitelist individually.
     Multicall,
+
+    // -- Privileged, appended after the initial ABI to keep existing
+    //    whitelist bit positions stable --
+    /// Stamp a new domain out of a sealed template (snapshot-fork
+    /// cloning): the clone aliases every template frame copy-on-write,
+    /// so creation copies no pages and reserves no frames up front.
+    DomctlCloneDomain,
 }
 
 xoar_codec::impl_json_enum!(HypercallId {
@@ -143,10 +150,11 @@ xoar_codec::impl_json_enum!(HypercallId {
     SysctlPhysinfo,
     PlatformReboot,
     Multicall,
+    DomctlCloneDomain,
 });
 
 /// Number of defined hypercall IDs — the width of the whitelist bitset.
-pub const HYPERCALL_COUNT: usize = 34;
+pub const HYPERCALL_COUNT: usize = 35;
 
 impl HypercallId {
     /// Every ID in declaration (= `Ord`) order. The whitelist bitset
@@ -187,6 +195,7 @@ impl HypercallId {
         HypercallId::SysctlPhysinfo,
         HypercallId::PlatformReboot,
         HypercallId::Multicall,
+        HypercallId::DomctlCloneDomain,
     ];
 
     /// Dense index of this ID (declaration order) — the bit position in
@@ -241,6 +250,7 @@ impl HypercallId {
             VmRollback,
             SysctlPhysinfo,
             PlatformReboot,
+            DomctlCloneDomain,
         ]
     }
 
@@ -270,7 +280,8 @@ impl HypercallId {
         use HypercallId::*;
         match self {
             MmuMapForeign | MmuWriteForeign => 10,
-            DomctlCreateDomain | DomctlDestroyDomain | MemoryPopulate | GnttabForeignSetup => 8,
+            DomctlCreateDomain | DomctlDestroyDomain | DomctlCloneDomain | MemoryPopulate
+            | GnttabForeignSetup => 8,
             DomctlPermitHypercall | DomctlDelegate | DomctlSetPrivilegedFor | DomctlSetRole => 7,
             DomctlAssignDevice
             | DomctlIrqPermission
@@ -323,6 +334,7 @@ impl HypercallId {
             SysctlPhysinfo => "sysctl.physinfo",
             PlatformReboot => "platform.reboot",
             Multicall => "multicall",
+            DomctlCloneDomain => "domctl.clone",
         }
     }
 }
@@ -579,6 +591,16 @@ pub enum Hypercall {
         /// Bytes to emit.
         data: Vec<u8>,
     },
+    /// Stamp a new domain out of `template` (snapshot-fork cloning).
+    /// The template must be sealed (or is sealed on first clone); the
+    /// clone starts `Running` with an empty p2m that falls through to
+    /// the template's frames copy-on-write.
+    DomctlCloneDomain {
+        /// Sealed template domain to fork from.
+        template: DomId,
+        /// Name for the clone.
+        name: String,
+    },
     /// A vector of sub-calls executed back-to-back with a single
     /// boundary crossing. The caller lookup and liveness screen happen
     /// once; each sub-call is then checked against the caller's
@@ -611,6 +633,7 @@ impl Hypercall {
             }
             GnttabForeignSetup { .. } => HypercallId::GnttabForeignSetup,
             DomctlCreateDomain { .. } => HypercallId::DomctlCreateDomain,
+            DomctlCloneDomain { .. } => HypercallId::DomctlCloneDomain,
             DomctlDestroyDomain { .. } => HypercallId::DomctlDestroyDomain,
             DomctlPauseDomain { .. } => HypercallId::DomctlPauseDomain,
             DomctlUnpauseDomain { .. } => HypercallId::DomctlUnpauseDomain,

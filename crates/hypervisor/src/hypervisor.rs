@@ -20,7 +20,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::fasthash::FastMap;
+use crate::fasthash::{FastMap, FastSet};
 
 use crate::domain::{DomId, Domain, DomainRole, DomainState};
 use crate::error::{HvError, HvResult};
@@ -92,7 +92,11 @@ pub struct Hypervisor {
     delivered: u64,
     /// Cross-region sharing edges declared by the operations that
     /// established them (grants, event binds). Audited by the analyzer.
-    declared: DeclaredOps,
+    declared: FastSet<(&'static str, DomId, DomId)>,
+    /// Precompiled per-template stamp plans (see [`xregion::stamp_plan`]):
+    /// the grant posture a clone must be stamped with, compiled on the
+    /// first clone of each sealed template and replayed thereafter.
+    stamp_plans: FastMap<DomId, xregion::StampPlan>,
     snapshots: SnapshotManager,
     now_ns: u64,
     tracing: bool,
@@ -114,7 +118,8 @@ impl Hypervisor {
             sched: CreditScheduler::new(config.cpus),
             regions: FastMap::default(),
             delivered: 0,
-            declared: BTreeSet::new(),
+            declared: FastSet::default(),
+            stamp_plans: FastMap::default(),
             snapshots: SnapshotManager::new(),
             now_ns: 0,
             tracing: false,
@@ -219,22 +224,37 @@ impl Hypervisor {
     /// Records a declared cross-region sharing edge. Event channels are
     /// bidirectional, so their edges are stored endpoint-normalized.
     fn declare(&mut self, kind: &'static str, subject: DomId, object: DomId) {
+        Self::declare_into(&mut self.declared, kind, subject, object);
+    }
+
+    /// [`Self::declare`] as an associated function, for call sites that
+    /// hold disjoint borrows of other hypervisor fields.
+    fn declare_into(
+        declared: &mut FastSet<(&'static str, DomId, DomId)>,
+        kind: &'static str,
+        subject: DomId,
+        object: DomId,
+    ) {
         if kind == "event" {
             let (a, b) = (subject.min(object), subject.max(object));
-            self.declared.insert((kind, a, b));
+            declared.insert((kind, a, b));
         } else {
-            self.declared.insert((kind, subject, object));
+            declared.insert((kind, subject, object));
         }
     }
 
     /// The declared cross-region sharing edges, including edges derived
     /// from live privilege state: `("blanket", d, DomId(u32::MAX))` for
-    /// every domain holding map-foreign-any, and `("foreign", s, o)` for
-    /// every `privileged_for` pair. The analyzer's
-    /// `no-undeclared-cross-region-access` rule audits the reachability
-    /// matrix against this set.
+    /// every domain holding map-foreign-any, `("foreign", s, o)` for
+    /// every `privileged_for` pair, and `("grant", grantee, clone)` for
+    /// every grant a live clone was stamped with (read off the
+    /// template's plan, so the snapshot-fork hot path records nothing
+    /// per clone). The analyzer's `no-undeclared-cross-region-access`
+    /// rule audits the reachability matrix against this set.
     pub fn declared_ops(&self) -> DeclaredOps {
-        let mut set = self.declared.clone();
+        // The live set is hashed (declare sits on hypercall hot paths);
+        // the audit view is materialised ordered, per call.
+        let mut set: DeclaredOps = self.declared.iter().copied().collect();
         for (id, d) in &self.domains {
             if d.state == DomainState::Dead {
                 continue;
@@ -244,6 +264,13 @@ impl Hypervisor {
             }
             for &obj in &d.privileged_for {
                 set.insert(("foreign", *id, obj));
+            }
+            if let Some(tpl) = self.mem.template_of(*id) {
+                if let Some(plan) = self.stamp_plans.get(&tpl) {
+                    for &(grantee, _, _) in &plan.entries {
+                        set.insert(("grant", grantee, *id));
+                    }
+                }
             }
         }
         set
@@ -562,6 +589,66 @@ impl Hypervisor {
                 self.register(dom)?;
                 Ok(HypercallRet::DomId(id))
             }
+            DomctlCloneDomain { template, name } => {
+                self.check_management(caller, template)?;
+                // One template read covers the seal check and the identity
+                // the clone inherits (pausing below mutates none of it).
+                let (state, memory_mib, vcpus, delegated, group, privs) = {
+                    let t = self.domain(template)?;
+                    (
+                        t.state,
+                        t.memory_mib,
+                        t.vcpus.len() as u32,
+                        t.delegated_shards.clone(),
+                        t.constraint_group.clone(),
+                        t.privileges.clone(),
+                    )
+                };
+                // Seal the template: a running guest is paused in place, a
+                // half-built one cannot be forked.
+                match state {
+                    DomainState::Paused | DomainState::Snapshotted => {}
+                    DomainState::Running => {
+                        self.domain_mut(template)?.state = DomainState::Paused;
+                        self.sched.set_runnable(template, false);
+                    }
+                    _ => {
+                        return Err(HvError::InvalidDomainState {
+                            dom: template,
+                            expected: "Running|Paused|Snapshotted",
+                        })
+                    }
+                }
+                self.mem.template_arm(template)?;
+                // No free-frames admission check: a clone reserves zero frames
+                // up front; OutOfFrames surfaces at first-write break time.
+                let id = DomId(self.next_domid);
+                self.next_domid += 1;
+                let mut dom = Domain::new(id, name, DomainRole::Guest, memory_mib);
+                dom.set_vcpus(vcpus);
+                dom.delegated_shards = delegated;
+                dom.constraint_group = group;
+                dom.privileges = privs;
+                dom.parent_toolstack = Some(caller);
+                dom.created_at_ns = self.now_ns;
+                // Born running: the clone resumes from the template's state
+                // rather than waiting on a builder handshake.
+                dom.unpause();
+                self.register(dom)?;
+                self.mem.clone_space(template, id)?;
+                let plan = match self.stamp_plans.entry(template) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(xregion::stamp_plan(&self.regions, template)?)
+                    }
+                };
+                xregion::clone_stamp(&mut self.regions, &mut self.mem, template, id, plan)?;
+                // The stamped grants' declared-sharing edges are derived in
+                // `declared_ops` from the live plan, like blanket/foreign
+                // edges — no per-clone bookkeeping on this path.
+                self.sched.set_runnable(id, true);
+                Ok(HypercallRet::DomId(id))
+            }
             DomctlDestroyDomain { target } => {
                 self.check_management(caller, target)?;
                 self.destroy(target)?;
@@ -847,7 +934,9 @@ impl Hypervisor {
         self.domain(dom)?;
         if dom.is_dom0() && self.dom0_failure_is_fatal {
             self.host_reboots += 1;
-            let ids = self.domain_ids();
+            let mut ids = self.domain_ids();
+            // Clones first: a template with live clones refuses to die.
+            ids.sort_by_key(|&id| (self.mem.template_of(id).is_none(), id));
             for id in ids {
                 let _ = self.destroy(id);
             }
@@ -858,6 +947,14 @@ impl Hypervisor {
     }
 
     fn destroy(&mut self, target: DomId) -> HvResult<()> {
+        // A sealed template's frames back every live clone's address space;
+        // it cannot be torn down until the last clone is gone.
+        if self.mem.template_clones(target).unwrap_or(0) > 0 {
+            return Err(HvError::InvalidDomainState {
+                dom: target,
+                expected: "template with no live clones",
+            });
+        }
         let d = self.domain_mut(target)?;
         if d.state == DomainState::Dead {
             return Err(HvError::InvalidDomainState {
@@ -870,6 +967,7 @@ impl Hypervisor {
         xregion::teardown(&mut self.regions, target);
         self.mem.release_domain(target);
         self.snapshots.discard(target);
+        self.stamp_plans.remove(&target);
         Ok(())
     }
 
@@ -900,7 +998,7 @@ mod tests {
     use crate::memory::PAGE_SIZE;
 
     /// Builds a hypervisor with a Dom0-style control VM.
-    fn xen_like() -> (Hypervisor, DomId) {
+    pub(super) fn xen_like() -> (Hypervisor, DomId) {
         let mut hv = Hypervisor::with_default_host();
         let dom0 = hv
             .create_boot_domain("dom0", DomainRole::ControlVm, 750, PrivilegeSet::dom0())
@@ -908,7 +1006,7 @@ mod tests {
         (hv, dom0)
     }
 
-    fn build_guest(hv: &mut Hypervisor, dom0: DomId, name: &str) -> DomId {
+    pub(super) fn build_guest(hv: &mut Hypervisor, dom0: DomId, name: &str) -> DomId {
         let id = hv
             .hypercall(
                 dom0,
@@ -1689,5 +1787,162 @@ mod multicall_tests {
         // Copies leave no grant mappings behind: revocation succeeds.
         hv.hypercall(g, Hypercall::GnttabEndAccess { gref })
             .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod clone_hypercall_tests {
+    use super::tests::{build_guest, xen_like};
+    use super::*;
+
+    /// Builds a guest, writes recognisable ring bytes, grants its ring page
+    /// to Dom0 and returns it ready to serve as a clone template.
+    fn template_guest(hv: &mut Hypervisor, dom0: DomId) -> DomId {
+        let g = build_guest(hv, dom0, "template");
+        hv.mem.write(g, Pfn(0), b"boot-state").unwrap();
+        hv.mem.write(g, Pfn(4), b"ring-state").unwrap();
+        hv.hypercall(
+            dom0,
+            Hypercall::GnttabForeignSetup {
+                owner: g,
+                grantee: dom0,
+                pfn: Pfn(4),
+                access: GrantAccess::ReadWrite,
+            },
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn clone_hypercall_forks_a_running_guest() {
+        let (mut hv, dom0) = xen_like();
+        let g = template_guest(&mut hv, dom0);
+        let c = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCloneDomain {
+                    template: g,
+                    name: "fn-0".into(),
+                },
+            )
+            .unwrap()
+            .dom_id();
+        // The template is sealed (paused); the clone is live.
+        assert_eq!(hv.domain(g).unwrap().state, DomainState::Paused);
+        assert_eq!(hv.domain(c).unwrap().state, DomainState::Running);
+        assert_eq!(hv.domain(c).unwrap().parent_toolstack, Some(dom0));
+        // Unbroken pages read through to the template's frames.
+        let page = hv.mem.read(c, Pfn(0)).unwrap();
+        assert_eq!(&page.as_slice()[..10], b"boot-state");
+        // The stamped grant exposes the clone's own (privatised) ring.
+        let entries = hv.regions[&c].grant_table().entries_sorted();
+        assert_eq!(entries.len(), 1);
+        let (_, e) = entries[0];
+        assert_eq!(e.grantee, dom0);
+        assert_eq!(e.pfn, Pfn(4));
+        assert_eq!(e.mfn, hv.mem.translate(c, Pfn(4)).unwrap());
+        assert_ne!(e.mfn, hv.mem.translate(g, Pfn(4)).unwrap());
+        // The sharing is on the declared-ops ledger for the analyzer —
+        // derived from the template's stamp plan, not recorded per clone.
+        assert!(hv.declared_ops().contains(&("grant", dom0, c)));
+        assert!(!hv.declared.contains(&("grant", dom0, c)));
+    }
+
+    #[test]
+    fn clone_writes_break_frames_without_touching_the_template() {
+        let (mut hv, dom0) = xen_like();
+        let g = template_guest(&mut hv, dom0);
+        let c = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCloneDomain {
+                    template: g,
+                    name: "fn-0".into(),
+                },
+            )
+            .unwrap()
+            .dom_id();
+        hv.mem.write(c, Pfn(0), b"clone-data").unwrap();
+        assert_eq!(
+            &hv.mem.read(c, Pfn(0)).unwrap().as_slice()[..10],
+            b"clone-data"
+        );
+        assert_eq!(
+            &hv.mem.read(g, Pfn(0)).unwrap().as_slice()[..10],
+            b"boot-state"
+        );
+    }
+
+    #[test]
+    fn template_refuses_destroy_while_clones_live() {
+        let (mut hv, dom0) = xen_like();
+        let g = template_guest(&mut hv, dom0);
+        let c = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCloneDomain {
+                    template: g,
+                    name: "fn-0".into(),
+                },
+            )
+            .unwrap()
+            .dom_id();
+        let err = hv
+            .hypercall(dom0, Hypercall::DomctlDestroyDomain { target: g })
+            .unwrap_err();
+        assert!(matches!(err, HvError::InvalidDomainState { .. }));
+        // Once the clone is gone the template can die.
+        hv.hypercall(dom0, Hypercall::DomctlDestroyDomain { target: c })
+            .unwrap();
+        hv.hypercall(dom0, Hypercall::DomctlDestroyDomain { target: g })
+            .unwrap();
+    }
+
+    #[test]
+    fn host_reboot_tears_down_clones_before_templates() {
+        let (mut hv, dom0) = xen_like();
+        hv.dom0_failure_is_fatal = true;
+        let g = template_guest(&mut hv, dom0);
+        for i in 0..3 {
+            hv.hypercall(
+                dom0,
+                Hypercall::DomctlCloneDomain {
+                    template: g,
+                    name: format!("fn-{i}"),
+                },
+            )
+            .unwrap();
+        }
+        hv.crash_domain(dom0).unwrap();
+        for id in hv.domain_ids() {
+            assert_eq!(hv.domain(id).unwrap().state, DomainState::Dead);
+        }
+    }
+
+    #[test]
+    fn clone_of_a_building_domain_is_rejected() {
+        let (mut hv, dom0) = xen_like();
+        let id = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCreateDomain {
+                    name: "half-built".into(),
+                    memory_mib: 64,
+                    vcpus: 1,
+                },
+            )
+            .unwrap()
+            .dom_id();
+        let err = hv
+            .hypercall(
+                dom0,
+                Hypercall::DomctlCloneDomain {
+                    template: id,
+                    name: "fn-0".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvError::InvalidDomainState { .. }));
     }
 }

@@ -25,10 +25,14 @@
 //! 1. **Shared page bodies.** [`FrameInfo::data`] is an `Rc<[u8]>`
 //!    handle ([`PageRef`]); `read`/`read_mfn` return clones of the
 //!    handle and a CoW break copies a pointer, not a page.
-//! 2. **Reverse index.** `rmap: mfn -> small list of (dom, pfn)` is
-//!    maintained incrementally by every translation-mutating operation
-//!    (populate, CoW break, transfer, dedup, release), so remapping a
-//!    deduplicated frame touches only its actual mappers.
+//! 2. **Reverse index.** Each frame carries its small list of `(dom,
+//!    pfn)` mappers inline ([`FrameInfo::refs`]), maintained
+//!    incrementally by every translation-mutating operation (populate,
+//!    CoW break, transfer, dedup, release) — so remapping a
+//!    deduplicated frame touches only its actual mappers, and reaching
+//!    a frame's mappers is the same dense-array access that reaches the
+//!    frame itself (no side hash table; the snapshot-fork stamp path
+//!    allocates frames at full batch speed).
 //! 3. **Content-hash index.** Every non-empty frame body is FNV-1a
 //!    hashed on write and indexed `hash -> mfns`; [`MemoryManager::share_identical`]
 //!    groups by hash and confirms with byte equality — one pass, zero
@@ -114,8 +118,16 @@ impl PageRef {
     }
 
     /// The empty (zero-filled, never written) page.
+    ///
+    /// Hands out clones of one per-thread allocation: populate and the
+    /// clone-stamp path mint empty pages in bulk, and a refcount bump
+    /// beats a fresh `Rc` each time. Empty pages are never deduplicated
+    /// or compared by identity, so the sharing is unobservable.
     pub fn empty() -> Self {
-        PageRef(Rc::from(&[][..]))
+        thread_local! {
+            static EMPTY: PageRef = PageRef(Rc::from(&[][..]));
+        }
+        EMPTY.with(|p| p.clone())
     }
 
     /// Borrows the page bytes.
@@ -415,6 +427,13 @@ struct FrameInfo {
     data: PageRef,
     /// FNV-1a hash of `data`, maintained on every write.
     hash: u64,
+    /// Reverse index: the `(dom, pfn)` p2m entries referencing this
+    /// frame. Living inside the frame slot, the reverse index costs one
+    /// dense-array access wherever the old side-table cost a hash probe
+    /// — the difference the snapshot-fork stamp path is built around. A
+    /// live frame with no referents is legal (grant-pinned frames leaked
+    /// by a dying domain).
+    refs: RefList,
 }
 
 /// Per-domain pseudo-physical address space: `Pfn -> Mfn`.
@@ -422,6 +441,24 @@ struct FrameInfo {
 struct P2m {
     map: FastMap<u64, Mfn>,
     next_pfn: u64,
+}
+
+/// Bookkeeping for a sealed clone template (snapshot-fork creation).
+///
+/// A template is a frozen, write-protected domain whose frames back any
+/// number of clones. Clones hold an *empty* p2m that falls through to
+/// the template's on translation misses, so stamping a clone allocates
+/// no frames and touches no rmap entries; a clone's first write to a
+/// page breaks the aliasing exactly like a CoW break.
+#[derive(Debug, Clone)]
+struct TemplateInfo {
+    /// Live clones currently backed by this template.
+    clones: u64,
+    /// Pages in the template's p2m at seal time.
+    page_count: u64,
+    /// `next_pfn` at seal time; clones allocate their own PFNs above it
+    /// so an own-map entry below the watermark is always a CoW break.
+    watermark: u64,
 }
 
 /// The dense frame table: per-frame metadata indexed by `mfn - base`,
@@ -513,9 +550,6 @@ pub struct MemoryManager {
     frames: FrameTable,
     p2m: FastMap<DomId, P2m>,
     free_count: u64,
-    /// Reverse index: `mfn -> mappers`. An entry exists iff at least one
-    /// p2m entry references the frame.
-    rmap: FastMap<u64, RefList>,
     /// Content-hash index over non-empty frames: `hash -> mfns`.
     by_hash: FastMap<u64, Vec<u64>>,
     /// Dirty-page candidates per domain: a superset of the PFNs whose
@@ -524,6 +558,11 @@ pub struct MemoryManager {
     dirty: FastMap<DomId, DirtyBitmap>,
     /// Lazy CoW snapshot baselines of frozen domains.
     frozen: FastMap<DomId, FrozenImage>,
+    /// Sealed clone templates (snapshot-fork creation).
+    templates: FastMap<DomId, TemplateInfo>,
+    /// `clone -> template` backing link. One level only: a template is
+    /// never itself a clone, so fall-through translation never chains.
+    clone_of: FastMap<DomId, DomId>,
     /// Opt-in incremental dedup: merge at write time (density mode).
     dedup_on_write: bool,
     /// Cumulative frames freed by the incremental dedup path.
@@ -539,10 +578,11 @@ impl MemoryManager {
             frames: FrameTable::new(0x1000),
             p2m: FastMap::default(),
             free_count: total_frames,
-            rmap: FastMap::default(),
             by_hash: FastMap::default(),
             dirty: FastMap::default(),
             frozen: FastMap::default(),
+            templates: FastMap::default(),
+            clone_of: FastMap::default(),
             dedup_on_write: false,
             dedup_write_freed: 0,
         }
@@ -602,31 +642,26 @@ impl MemoryManager {
     }
 
     fn rmap_remove(&mut self, raw: u64, dom: DomId, pfn: u64) {
-        if let Some(l) = self.rmap.get_mut(&raw) {
-            l.remove(dom, pfn);
-            if l.len() == 0 {
-                self.rmap.remove(&raw);
-            }
+        if let Some(f) = self.frames.get_mut(raw) {
+            f.refs.remove(dom, pfn);
         }
     }
 
     fn rmap_len(&self, raw: u64) -> usize {
-        self.rmap.get(&raw).map_or(0, |l| l.len())
+        self.frames.get(raw).map_or(0, |f| f.refs.len())
     }
 
     /// Sets a frame's dirty bit and records every current mapper as a
     /// dirty-page candidate.
     fn mark_dirty(&mut self, mfn: Mfn) {
-        if let Some(f) = self.frames.get_mut(mfn.0) {
-            f.dirty_since_snapshot = true;
-        }
-        let Some(l) = self.rmap.get(&mfn.0) else {
+        let Some(f) = self.frames.get_mut(mfn.0) else {
             return;
         };
+        f.dirty_since_snapshot = true;
         // Cloning the RefList is allocation-free in the dominant
         // single-mapper (inline) case — the old `to_vec()` here was the
         // per-write heap allocation behind the restart fast-path tail.
-        let l = l.clone();
+        let l = f.refs.clone();
         for &(d, p) in l.as_slice() {
             self.dirty.entry(d).or_default().set(p);
         }
@@ -652,11 +687,11 @@ impl MemoryManager {
         if self.frozen.is_empty() {
             return;
         }
-        let Some(l) = self.rmap.get(&mfn.0) else {
-            return;
-        };
-        let l = l.clone();
-        let Some(data) = self.frames.get(mfn.0).map(|f| f.data.clone()) else {
+        let Some((l, data)) = self
+            .frames
+            .get(mfn.0)
+            .map(|f| (f.refs.clone(), f.data.clone()))
+        else {
             return;
         };
         for &(d, p) in l.as_slice() {
@@ -727,21 +762,40 @@ impl MemoryManager {
                     dirty_since_snapshot: false,
                     data: PageRef::empty(),
                     hash: content_hash(&[]),
+                    refs: RefList::one(dom, pfn),
                 },
             );
-            self.rmap.insert(mfn.0, RefList::one(dom, pfn));
         }
         self.free_count -= count;
         Ok(first)
     }
 
     /// Translates a domain-local [`Pfn`] to its machine frame.
+    ///
+    /// A clone's own p2m holds only the pages it has privatised; a miss
+    /// falls through to the backing template's map (one level — a
+    /// template is never a clone), which is what makes clone creation
+    /// O(1) in the template's size.
     pub fn translate(&self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
+        if let Some(m) = self.p2m.get(&dom) {
+            if let Some(&mfn) = m.map.get(&pfn.0) {
+                return Ok(mfn);
+            }
+        }
+        if let Some(&tpl) = self.clone_of.get(&dom) {
+            if let Some(&mfn) = self.p2m.get(&tpl).and_then(|m| m.map.get(&pfn.0)) {
+                return Ok(mfn);
+            }
+        }
+        Err(MemError::BadPfn(pfn.0).into())
+    }
+
+    /// Whether (`dom`, `pfn`) resolves through `dom`'s *own* p2m (for a
+    /// clone: whether the page has been privatised).
+    fn own_mapping(&self, dom: DomId, pfn: Pfn) -> bool {
         self.p2m
             .get(&dom)
-            .and_then(|m| m.map.get(&pfn.0))
-            .copied()
-            .ok_or_else(|| MemError::BadPfn(pfn.0).into())
+            .is_some_and(|m| m.map.contains_key(&pfn.0))
     }
 
     /// Returns the owner of a machine frame.
@@ -756,9 +810,15 @@ impl MemoryManager {
     /// by `(dom, pfn)` (the reverse index, read-only).
     pub fn mappers(&self, mfn: Mfn) -> Vec<(DomId, Pfn)> {
         let mut v: Vec<(DomId, Pfn)> = self
-            .rmap
-            .get(&mfn.0)
-            .map(|l| l.as_slice().iter().map(|&(d, p)| (d, Pfn(p))).collect())
+            .frames
+            .get(mfn.0)
+            .map(|f| {
+                f.refs
+                    .as_slice()
+                    .iter()
+                    .map(|&(d, p)| (d, Pfn(p)))
+                    .collect()
+            })
             .unwrap_or_default();
         v.sort_by_key(|&(d, p)| (d.0, p.0));
         v
@@ -774,6 +834,14 @@ impl MemoryManager {
             return Err(crate::error::HvError::InvalidArgument(format!(
                 "write of {} bytes exceeds page size",
                 data.len()
+            )));
+        }
+        if self.templates.contains_key(&dom) {
+            // Clones alias template frames without rmap entries, so a
+            // template write could never CoW-fault on their behalf:
+            // sealed templates are immutable until their last clone dies.
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "{dom} is a sealed template and cannot be written"
             )));
         }
         if self.dedup_on_write && !data.is_empty() && self.try_dedup_write(dom, pfn, data)? {
@@ -846,12 +914,12 @@ impl MemoryManager {
         if let Some(m) = self.p2m.get_mut(&dom) {
             m.map.insert(pfn.0, Mfn(canon));
         }
-        self.rmap.entry(canon).or_default().push(dom, pfn.0);
-        if self
-            .frames
-            .get(canon)
-            .is_some_and(|f| f.dirty_since_snapshot)
-        {
+        let mut canon_dirty = false;
+        if let Some(f) = self.frames.get_mut(canon) {
+            f.refs.push(dom, pfn.0);
+            canon_dirty = f.dirty_since_snapshot;
+        }
+        if canon_dirty {
             self.dirty.entry(dom).or_default().set(pfn.0);
         }
         Ok(true)
@@ -865,6 +933,13 @@ impl MemoryManager {
     /// frame must never be granted or foreign-mapped, or the grantee
     /// would reach other domains' memory.
     pub fn exclusive_mfn(&mut self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
+        // A clone PFN still backed by the template must be privatised
+        // first — and must never take the rmap-length fast path below:
+        // the template's frame is rmap-single (the template is its only
+        // p2m mapper) yet aliased by every clone.
+        if self.clone_of.contains_key(&dom) && !self.own_mapping(dom, pfn) {
+            return self.clone_break(dom, pfn);
+        }
         let mfn = self.translate(dom, pfn)?;
         if self.rmap_len(mfn.0) <= 1 {
             return Ok(mfn);
@@ -895,17 +970,215 @@ impl MemoryManager {
                 dirty_since_snapshot: true,
                 data,
                 hash,
+                refs: RefList::one(dom, pfn.0),
             },
         );
         if nonempty {
             self.hash_index_add(hash, new_mfn.0);
         }
         self.rmap_remove(mfn.0, dom, pfn.0);
-        self.rmap.insert(new_mfn.0, RefList::one(dom, pfn.0));
         let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
         p2m.map.insert(pfn.0, new_mfn);
         self.dirty.entry(dom).or_default().set(pfn.0);
         Ok(new_mfn)
+    }
+
+    /// Privatises a template-backed clone page: allocates a fresh frame
+    /// holding a *handle clone* of the template's page body (no byte
+    /// copy) and installs it in the clone's own p2m. The template's
+    /// frame and rmap are untouched — clones never appear in the rmap
+    /// of template frames.
+    fn clone_break(&mut self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
+        let tpl = *self.clone_of.get(&dom).ok_or(MemError::BadPfn(pfn.0))?;
+        let mfn = self.translate(tpl, pfn)?;
+        if self.free_count == 0 {
+            return Err(MemError::OutOfFrames.into());
+        }
+        let (data, hash) = {
+            let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            (f.data.clone(), f.hash)
+        };
+        // If the clone is itself frozen (microreboot snapshot), the
+        // template's bytes are the pre-image this break diverges from.
+        self.capture_frozen_one(dom, pfn.0, &data);
+        let new_mfn = Mfn(self.next_mfn);
+        self.next_mfn += 1;
+        self.free_count -= 1;
+        let nonempty = !data.is_empty();
+        self.frames.insert(
+            new_mfn.0,
+            FrameInfo {
+                owner: dom,
+                grant_mappings: 0,
+                foreign_mappings: 0,
+                dirty_since_snapshot: true,
+                data,
+                hash,
+                refs: RefList::one(dom, pfn.0),
+            },
+        );
+        if nonempty {
+            self.hash_index_add(hash, new_mfn.0);
+        }
+        let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
+        p2m.map.insert(pfn.0, new_mfn);
+        self.dirty.entry(dom).or_default().set(pfn.0);
+        Ok(new_mfn)
+    }
+
+    /// Privatises a batch of clone PFNs onto fresh zero frames, without
+    /// reading the template's copies of the pages.
+    ///
+    /// The region stamp uses this for the I/O ring pages it re-grants:
+    /// ring contents are re-initialised when the backend connects, so
+    /// the stamp need not pay what per-page [`Self::clone_break`]s would
+    /// — the fall-through translates into the template, the page-handle
+    /// clones and the content-hash inserts (an all-zero frame is never a
+    /// dedup candidate) — and the clone's p2m and dirty tables are
+    /// resolved once for the whole batch. A PFN the clone already
+    /// privatised yields its existing frame. Appends one [`Mfn`] per
+    /// PFN, in order, to `mfns`.
+    pub fn stamp_private_zero_batch(
+        &mut self,
+        dom: DomId,
+        pfns: &[Pfn],
+        mfns: &mut Vec<Mfn>,
+    ) -> HvResult<()> {
+        if !self.clone_of.contains_key(&dom) {
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "{dom} is not a clone"
+            )));
+        }
+        mfns.reserve(pfns.len());
+        let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(0))?;
+        let dirty = self.dirty.entry(dom).or_default();
+        for &pfn in pfns {
+            // One probe decides hit-or-stamp (the hot path stamps: a
+            // fresh clone's own p2m starts empty).
+            let slot = match p2m.map.entry(pfn.0) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    mfns.push(*e.get());
+                    continue;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => v,
+            };
+            if self.free_count == 0 {
+                return Err(MemError::OutOfFrames.into());
+            }
+            let new_mfn = Mfn(self.next_mfn);
+            self.next_mfn += 1;
+            self.free_count -= 1;
+            self.frames.insert(
+                new_mfn.0,
+                FrameInfo {
+                    owner: dom,
+                    grant_mappings: 0,
+                    foreign_mappings: 0,
+                    dirty_since_snapshot: true,
+                    data: PageRef::empty(),
+                    hash: content_hash(&[]),
+                    refs: RefList::one(dom, pfn.0),
+                },
+            );
+            slot.insert(new_mfn);
+            dirty.set(pfn.0);
+            mfns.push(new_mfn);
+        }
+        Ok(())
+    }
+
+    /// Seals `dom` as a clone template: freezes it (so its frames carry
+    /// the frozen CoW exemption the analyzer recognises) and registers
+    /// it write-protected. Returns the number of pages sealed.
+    /// Idempotent on an already-sealed template.
+    ///
+    /// A clone cannot be sealed (fall-through translation is one level
+    /// deep by construction), and an empty domain has nothing to fork.
+    pub fn template_arm(&mut self, dom: DomId) -> HvResult<u64> {
+        if let Some(info) = self.templates.get(&dom) {
+            return Ok(info.page_count);
+        }
+        if self.clone_of.contains_key(&dom) {
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "{dom} is a clone and cannot be sealed as a template"
+            )));
+        }
+        let page_count = self.freeze(dom);
+        if page_count == 0 {
+            self.discard_frozen(dom);
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "{dom} has no populated memory to seal as a template"
+            )));
+        }
+        let watermark = self.p2m.get(&dom).map_or(0, |m| m.next_pfn);
+        self.templates.insert(
+            dom,
+            TemplateInfo {
+                clones: 0,
+                page_count,
+                watermark,
+            },
+        );
+        Ok(page_count)
+    }
+
+    /// Stamps out `clone`'s address space from sealed template
+    /// `template`: an empty p2m whose misses fall through to the
+    /// template. O(1) — no frames are reserved, no page or p2m entry is
+    /// copied; the clone pays for frames one CoW break at a time.
+    /// Returns the number of pages the clone sees through the template.
+    pub fn clone_space(&mut self, template: DomId, clone: DomId) -> HvResult<u64> {
+        let info = self.templates.get_mut(&template).ok_or_else(|| {
+            crate::error::HvError::InvalidArgument(format!("{template} is not a sealed template"))
+        })?;
+        if self.p2m.contains_key(&clone) || self.clone_of.contains_key(&clone) {
+            return Err(crate::error::HvError::InvalidArgument(format!(
+                "{clone} already has an address space"
+            )));
+        }
+        info.clones += 1;
+        let watermark = info.watermark;
+        let page_count = info.page_count;
+        self.p2m.insert(
+            clone,
+            P2m {
+                map: FastMap::default(),
+                next_pfn: watermark,
+            },
+        );
+        self.clone_of.insert(clone, template);
+        Ok(page_count)
+    }
+
+    /// Whether `dom` is a sealed clone template.
+    pub fn is_template(&self, dom: DomId) -> bool {
+        self.templates.contains_key(&dom)
+    }
+
+    /// The template backing `dom`, if `dom` is a clone.
+    pub fn template_of(&self, dom: DomId) -> Option<DomId> {
+        self.clone_of.get(&dom).copied()
+    }
+
+    /// Live clones backed by template `dom` (`None` if not a template).
+    pub fn template_clones(&self, dom: DomId) -> Option<u64> {
+        self.templates.get(&dom).map(|i| i.clones)
+    }
+
+    /// Pages sealed into template `dom` (`None` if not a template).
+    pub fn template_page_count(&self, dom: DomId) -> Option<u64> {
+        self.templates.get(&dom).map(|i| i.page_count)
+    }
+
+    /// Number of pages `clone` has privatised away from its template.
+    pub fn clone_broken_pages(&self, clone: DomId) -> u64 {
+        let Some(&tpl) = self.clone_of.get(&clone) else {
+            return 0;
+        };
+        let wm = self.templates.get(&tpl).map_or(0, |i| i.watermark);
+        self.p2m
+            .get(&clone)
+            .map_or(0, |m| m.map.keys().filter(|&&p| p < wm).count() as u64)
     }
 
     /// Content-based page deduplication across all domains (the
@@ -975,7 +1248,11 @@ impl MemoryManager {
 
     /// Moves every mapper of `dup` onto `canonical` and frees `dup`.
     fn merge_frames(&mut self, canonical: u64, dup: u64) {
-        let moved = self.rmap.remove(&dup).unwrap_or_default();
+        let moved = self
+            .frames
+            .get_mut(dup)
+            .map(|f| std::mem::take(&mut f.refs))
+            .unwrap_or_default();
         let canon_dirty = self
             .frames
             .get(canonical)
@@ -992,7 +1269,9 @@ impl MemoryManager {
             if let Some(m) = self.p2m.get_mut(&d) {
                 m.map.insert(p, Mfn(canonical));
             }
-            self.rmap.entry(canonical).or_default().push(d, p);
+            if let Some(f) = self.frames.get_mut(canonical) {
+                f.refs.push(d, p);
+            }
             if canon_dirty {
                 self.dirty.entry(d).or_default().set(p);
                 if let Some(ref data) = canon_data {
@@ -1010,7 +1289,7 @@ impl MemoryManager {
 
     /// Number of frames currently shared by more than one mapping.
     pub fn shared_frames(&self) -> u64 {
-        self.rmap.values().filter(|l| l.len() > 1).count() as u64
+        self.frames.iter().filter(|(_, f)| f.refs.len() > 1).count() as u64
     }
 
     /// Frames mapped by more than one *domain* (deduplicated CoW sharing),
@@ -1018,12 +1297,45 @@ impl MemoryManager {
     /// sorted by MFN. Intra-domain aliases (one domain mapping a frame at
     /// two PFNs) are not cross-domain sharing and are excluded.
     pub fn multi_domain_frames(&self) -> Vec<(Mfn, Vec<DomId>)> {
-        let mut out = Vec::new();
-        for (&mfn, l) in &self.rmap {
-            if l.len() < 2 {
+        let mut by_mfn: FastMap<u64, Vec<DomId>> = FastMap::default();
+        for (mfn, f) in self.frames.iter() {
+            if f.refs.len() < 2 {
                 continue;
             }
-            let mut doms: Vec<DomId> = l.as_slice().iter().map(|&(d, _)| d).collect();
+            let doms: Vec<DomId> = f.refs.as_slice().iter().map(|&(d, _)| d).collect();
+            by_mfn.insert(mfn, doms);
+        }
+        // Template fan-out: clones alias template frames without rmap
+        // entries, so surface each template frame as shared between the
+        // template and every clone that has not privatised that PFN.
+        for (&tpl, info) in &self.templates {
+            if info.clones == 0 {
+                continue;
+            }
+            let clones: Vec<DomId> = {
+                let mut v: Vec<DomId> = self
+                    .clone_of
+                    .iter()
+                    .filter(|&(_, &t)| t == tpl)
+                    .map(|(&c, _)| c)
+                    .collect();
+                v.sort_by_key(|d| d.0);
+                v
+            };
+            let Some(p2m) = self.p2m.get(&tpl) else {
+                continue;
+            };
+            for (&pfn, &mfn) in &p2m.map {
+                let entry = by_mfn.entry(mfn.0).or_insert_with(|| vec![tpl]);
+                for &c in &clones {
+                    if !self.own_mapping(c, Pfn(pfn)) {
+                        entry.push(c);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(Mfn, Vec<DomId>)> = Vec::new();
+        for (mfn, mut doms) in by_mfn {
             doms.sort_by_key(|d| d.0);
             doms.dedup();
             if doms.len() >= 2 {
@@ -1042,6 +1354,12 @@ impl MemoryManager {
     /// Shared or mapped frames cannot be transferred.
     pub fn transfer_frame(&mut self, from: DomId, pfn: Pfn, to: DomId) -> HvResult<Pfn> {
         let mfn = self.translate(from, pfn)?;
+        if self.templates.contains_key(&from) || !self.own_mapping(from, pfn) {
+            // Template frames back live clones and a clone's
+            // fall-through PFN *is* a template frame: neither may change
+            // hands.
+            return Err(MemError::FrameBusy(mfn.0).into());
+        }
         {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
             if self.rmap_len(mfn.0) > 1 || f.grant_mappings > 0 || f.foreign_mappings > 0 {
@@ -1057,9 +1375,9 @@ impl MemoryManager {
         let new_pfn = Pfn(dst.next_pfn);
         dst.map.insert(dst.next_pfn, mfn);
         dst.next_pfn += 1;
-        self.rmap.insert(mfn.0, RefList::one(to, new_pfn.0));
         if let Some(f) = self.frames.get_mut(mfn.0) {
             f.owner = to;
+            f.refs = RefList::one(to, new_pfn.0);
         }
         self.mark_dirty(mfn);
         Ok(new_pfn)
@@ -1080,6 +1398,13 @@ impl MemoryManager {
     /// Writes a shared page body directly by machine frame without
     /// copying bytes (snapshot rollback, ring payload delivery).
     pub fn write_mfn_page(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
+        if let Some(f) = self.frames.get(mfn.0) {
+            if self.templates.contains_key(&f.owner) {
+                return Err(crate::error::HvError::InvalidArgument(format!(
+                    "{mfn} belongs to a sealed template and cannot be written",
+                )));
+            }
+        }
         self.set_frame_data(mfn, page)?;
         self.mark_dirty(mfn);
         Ok(())
@@ -1131,6 +1456,12 @@ impl MemoryManager {
     /// where a domain's memory cannot be recycled until grants are
     /// unmapped); returns the number of frames actually freed.
     pub fn release_domain(&mut self, dom: DomId) -> u64 {
+        if let Some(tpl) = self.clone_of.remove(&dom) {
+            if let Some(info) = self.templates.get_mut(&tpl) {
+                info.clones = info.clones.saturating_sub(1);
+            }
+        }
+        self.templates.remove(&dom);
         let Some(p2m) = self.p2m.remove(&dom) else {
             return 0;
         };
@@ -1219,10 +1550,18 @@ impl MemoryManager {
     /// independent of how many pages the domain owns or how clean they
     /// are. Freezing an already-frozen domain replaces the snapshot.
     pub fn freeze(&mut self, dom: DomId) -> u64 {
-        let (count, watermark) = self
+        let (mut count, watermark) = self
             .p2m
             .get(&dom)
             .map_or((0, 0), |m| (m.map.len() as u64, m.next_pfn));
+        // A clone also sees every template page it has not privatised:
+        // those are snapshot-covered too (a post-freeze CoW break
+        // captures the template body as the pre-image).
+        if let Some(&tpl) = self.clone_of.get(&dom) {
+            if let Some(tinfo) = self.templates.get(&tpl) {
+                count += tinfo.page_count - self.clone_broken_pages(dom);
+            }
+        }
         // Open the new epoch: pre-freeze dirt must not be restored.
         let _ = self.take_dirty(dom);
         let img = self.frozen.entry(dom).or_default();
@@ -1332,33 +1671,19 @@ impl MemoryManager {
                 shadow.entry(mfn.0).or_default().push((dom, pfn));
             }
         }
-        for (raw, mut expect) in shadow {
-            let mut got: Vec<(DomId, u64)> = self
-                .rmap
-                .get(&raw)
-                .map_or_else(Vec::new, |l| l.as_slice().to_vec());
+        for (raw, f) in self.frames.iter() {
+            let mut expect = shadow.remove(&raw).unwrap_or_default();
+            let mut got: Vec<(DomId, u64)> = f.refs.as_slice().to_vec();
             expect.sort_by_key(|&(d, p)| (d.0, p));
             got.sort_by_key(|&(d, p)| (d.0, p));
             if expect != got {
                 return Err(format!(
-                    "rmap for mfn {raw:#x} disagrees: shadow {expect:?} vs index {got:?}"
+                    "refs for mfn {raw:#x} disagree: shadow {expect:?} vs index {got:?}"
                 ));
             }
         }
-        for (&raw, l) in &self.rmap {
-            if l.len() == 0 {
-                return Err(format!("empty rmap entry for mfn {raw:#x}"));
-            }
-            for &(d, p) in l.as_slice() {
-                let mapped = self
-                    .p2m
-                    .get(&d)
-                    .and_then(|m| m.map.get(&p))
-                    .is_some_and(|&m| m.0 == raw);
-                if !mapped {
-                    return Err(format!("rmap mfn {raw:#x} lists stale mapper {d} pfn {p}"));
-                }
-            }
+        if let Some((&raw, _)) = shadow.iter().next() {
+            return Err(format!("shadow maps missing frame mfn {raw:#x}"));
         }
         // Content-hash index.
         for (raw, f) in self.frames.iter() {
@@ -1412,6 +1737,38 @@ impl MemoryManager {
                         img.watermark
                     ));
                 }
+            }
+        }
+        // Clone links: every clone points at a live, sealed, frozen
+        // template, and the per-template clone counters match the links.
+        let mut clone_counts: HashMap<DomId, u64> = HashMap::new();
+        for (&clone, &tpl) in &self.clone_of {
+            let Some(info) = self.templates.get(&tpl) else {
+                return Err(format!("{clone} is a clone of unsealed {tpl}"));
+            };
+            if self.templates.contains_key(&clone) {
+                return Err(format!("{clone} is both a clone and a template"));
+            }
+            if !self.frozen.contains_key(&tpl) {
+                return Err(format!("template {tpl} lost its frozen snapshot"));
+            }
+            if let Some(m) = self.p2m.get(&clone) {
+                if m.next_pfn < info.watermark {
+                    return Err(format!(
+                        "{clone} next_pfn {} below template watermark {}",
+                        m.next_pfn, info.watermark
+                    ));
+                }
+            }
+            *clone_counts.entry(tpl).or_default() += 1;
+        }
+        for (&tpl, info) in &self.templates {
+            let linked = clone_counts.get(&tpl).copied().unwrap_or(0);
+            if info.clones != linked {
+                return Err(format!(
+                    "template {tpl} counts {} clones but {linked} are linked",
+                    info.clones
+                ));
             }
         }
         Ok(())
@@ -1986,5 +2343,219 @@ mod sharing_proptests {
                 assert_eq!(m.read(dom, Pfn(pfn)).unwrap(), *body);
             }
         });
+    }
+}
+
+#[cfg(test)]
+mod clone_tests {
+    use super::*;
+
+    /// A sealed 8-page template with distinct page bodies.
+    fn template() -> (MemoryManager, DomId) {
+        let mut m = MemoryManager::new(4096);
+        let t = DomId(10);
+        m.populate(t, 8).unwrap();
+        for p in 0..8u64 {
+            m.write(t, Pfn(p), format!("tpl{p}").as_bytes()).unwrap();
+        }
+        m.template_arm(t).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn clone_space_is_frame_free() {
+        let (mut m, t) = template();
+        let free = m.free_frames();
+        let c = DomId(20);
+        assert_eq!(m.clone_space(t, c).unwrap(), 8);
+        assert_eq!(m.free_frames(), free, "cloning reserves no frames");
+        assert_eq!(m.owned_frames(c), 0);
+        assert_eq!(m.template_clones(t), Some(1));
+        assert_eq!(m.template_of(c), Some(t));
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn clone_reads_fall_through_to_template() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        for p in 0..8u64 {
+            let tb = m.read(t, Pfn(p)).unwrap();
+            let cb = m.read(c, Pfn(p)).unwrap();
+            assert!(PageRef::ptr_eq(&tb, &cb), "clone shares the page body");
+        }
+        assert!(m.read(c, Pfn(8)).is_err(), "beyond the template: unmapped");
+    }
+
+    #[test]
+    fn first_write_breaks_exactly_one_page() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        let free = m.free_frames();
+        m.write(c, Pfn(3), b"diverged").unwrap();
+        assert_eq!(m.free_frames(), free - 1, "one private frame allocated");
+        assert_eq!(m.clone_broken_pages(c), 1);
+        assert_eq!(m.read(c, Pfn(3)).unwrap(), b"diverged");
+        assert_eq!(m.read(t, Pfn(3)).unwrap(), b"tpl3", "template untouched");
+        // The other seven pages still alias the template.
+        for p in [0u64, 1, 2, 4, 5, 6, 7] {
+            assert!(PageRef::ptr_eq(
+                &m.read(t, Pfn(p)).unwrap(),
+                &m.read(c, Pfn(p)).unwrap()
+            ));
+        }
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn writes_to_one_clone_never_leak_to_another() {
+        let (mut m, t) = template();
+        let (a, b) = (DomId(20), DomId(21));
+        m.clone_space(t, a).unwrap();
+        m.clone_space(t, b).unwrap();
+        m.write(a, Pfn(0), b"from-a").unwrap();
+        assert_eq!(m.read(b, Pfn(0)).unwrap(), b"tpl0");
+        m.write(b, Pfn(0), b"from-b").unwrap();
+        assert_eq!(m.read(a, Pfn(0)).unwrap(), b"from-a");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn template_is_sealed_against_writes_and_transfer() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        assert!(m.write(t, Pfn(0), b"mutate").is_err());
+        let mfn = m.translate(t, Pfn(0)).unwrap();
+        assert!(m.write_mfn(mfn, b"mutate").is_err());
+        assert!(m.transfer_frame(t, Pfn(0), DomId(30)).is_err());
+        // A clone cannot give away a template-backed (unbroken) page
+        // either; once broken the page is private and transferable.
+        assert!(m.transfer_frame(c, Pfn(0), DomId(30)).is_err());
+        m.write(c, Pfn(0), b"mine").unwrap();
+        m.transfer_frame(c, Pfn(0), DomId(30)).unwrap();
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn grant_paths_privatise_clone_pages() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        // exclusive_mfn must never hand out the template's frame, even
+        // though that frame is rmap-single.
+        let tpl_mfn = m.translate(t, Pfn(2)).unwrap();
+        let got = m.exclusive_mfn(c, Pfn(2)).unwrap();
+        assert_ne!(got, tpl_mfn, "clone got a private frame");
+        assert_eq!(m.owner(got).unwrap(), c);
+        assert_eq!(m.read(c, Pfn(2)).unwrap(), b"tpl2", "contents preserved");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn clone_cannot_be_template_and_template_cannot_be_cloned_twice() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        assert!(m.template_arm(c).is_err(), "clones cannot be sealed");
+        assert!(m.clone_space(t, c).is_err(), "clone already has a space");
+        assert_eq!(m.template_arm(t).unwrap(), 8, "re-arming is idempotent");
+    }
+
+    #[test]
+    fn release_clone_decrements_refcount_and_frees_broken_frames() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        m.write(c, Pfn(1), b"broken").unwrap();
+        let free = m.free_frames();
+        let freed = m.release_domain(c);
+        assert_eq!(freed, 1, "only the privatised frame is freed");
+        assert_eq!(m.free_frames(), free + 1);
+        assert_eq!(m.template_clones(t), Some(0));
+        assert_eq!(m.read(t, Pfn(1)).unwrap(), b"tpl1");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn clone_populate_extends_above_watermark() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        let first = m.populate(c, 2).unwrap();
+        assert_eq!(first, Pfn(8), "new PFNs start at the template watermark");
+        m.write(c, Pfn(9), b"own").unwrap();
+        assert_eq!(m.read(c, Pfn(9)).unwrap(), b"own");
+        assert!(m.read(t, Pfn(9)).is_err());
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn multi_domain_frames_surface_template_sharing() {
+        let (mut m, t) = template();
+        let (a, b) = (DomId(20), DomId(21));
+        m.clone_space(t, a).unwrap();
+        m.clone_space(t, b).unwrap();
+        m.write(a, Pfn(0), b"broken-in-a").unwrap();
+        let shared = m.multi_domain_frames();
+        assert_eq!(shared.len(), 8, "all template frames are shared");
+        let mfn0 = m.translate(t, Pfn(0)).unwrap();
+        let doms0 = &shared.iter().find(|&&(mf, _)| mf == mfn0).unwrap().1;
+        assert_eq!(doms0, &vec![t, b], "a privatised pfn 0, b still shares");
+        let mfn1 = m.translate(t, Pfn(1)).unwrap();
+        let doms1 = &shared.iter().find(|&&(mf, _)| mf == mfn1).unwrap().1;
+        assert_eq!(doms1, &vec![t, a, b]);
+    }
+
+    #[test]
+    fn clone_snapshot_and_rollback_restores_template_bytes() {
+        let (mut m, t) = template();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        // Freeze the (unwritten) clone: it covers the template's pages.
+        assert_eq!(m.freeze(c), 8);
+        m.write(c, Pfn(4), b"scribble").unwrap();
+        let restored = m.rollback_frozen(c, |_| false).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(
+            m.read(c, Pfn(4)).unwrap(),
+            b"tpl4",
+            "rollback restores the template pre-image into the private frame"
+        );
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn out_of_frames_surfaces_at_break_time() {
+        let mut m = MemoryManager::new(8);
+        let t = DomId(10);
+        m.populate(t, 8).unwrap();
+        m.write(t, Pfn(0), b"full").unwrap();
+        m.template_arm(t).unwrap();
+        let c = DomId(20);
+        m.clone_space(t, c).unwrap();
+        assert_eq!(m.read(c, Pfn(0)).unwrap(), b"full", "reads still work");
+        let err = m.write(c, Pfn(0), b"x").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::HvError::Memory(MemError::OutOfFrames)
+        ));
+    }
+
+    #[test]
+    fn hundred_clones_share_until_first_write() {
+        let (mut m, t) = template();
+        let free = m.free_frames();
+        for i in 0..100u32 {
+            m.clone_space(t, DomId(100 + i)).unwrap();
+        }
+        assert_eq!(m.free_frames(), free, "100 clones, zero frames");
+        for i in 0..100u32 {
+            m.write(DomId(100 + i), Pfn(0), b"warm").unwrap();
+        }
+        assert_eq!(m.free_frames(), free - 100, "one break per clone");
+        m.check_consistency().unwrap();
     }
 }

@@ -107,6 +107,15 @@ pub enum CrossRegionOp {
         /// Domain whose region is destroyed.
         target: DomId,
     },
+    /// Snapshot-fork region stamp: the clone's fresh region receives a
+    /// grant posture equivalent to the template's, re-established
+    /// against the clone's own (privatised) frames.
+    CloneStamp {
+        /// The sealed template whose grant entries are replayed.
+        template: DomId,
+        /// The new clone whose region is stamped.
+        clone: DomId,
+    },
 }
 
 impl CrossRegionOp {
@@ -123,6 +132,7 @@ impl CrossRegionOp {
             CrossRegionOp::ForeignMap { accessor, .. } => accessor,
             CrossRegionOp::Rollback { manager, .. } => manager,
             CrossRegionOp::Teardown { target } => target,
+            CrossRegionOp::CloneStamp { template, .. } => template,
         }
     }
 
@@ -139,6 +149,7 @@ impl CrossRegionOp {
             CrossRegionOp::ForeignMap { owner, .. } => owner,
             CrossRegionOp::Rollback { target, .. } => target,
             CrossRegionOp::Teardown { target } => target,
+            CrossRegionOp::CloneStamp { clone, .. } => clone,
         }
     }
 
@@ -152,7 +163,8 @@ impl CrossRegionOp {
             CrossRegionOp::GrantMap { .. }
             | CrossRegionOp::GrantCopy { .. }
             | CrossRegionOp::GrantTransfer { .. }
-            | CrossRegionOp::ForeignSetup { .. } => "grant",
+            | CrossRegionOp::ForeignSetup { .. }
+            | CrossRegionOp::CloneStamp { .. } => "grant",
             CrossRegionOp::ForeignMap { .. } => "foreign",
             CrossRegionOp::Rollback { .. } => "rollback",
             CrossRegionOp::Teardown { .. } => "teardown",
@@ -523,6 +535,62 @@ pub(crate) fn foreign_setup(
     let op = CrossRegionOp::ForeignSetup { builder, owner };
     let mfn = mem.exclusive_mfn(op.object(), pfn)?;
     object_region_mut(regions, op, |r| r.grants.grant(grantee, pfn, mfn, access))?
+}
+
+/// A sealed template's precompiled stamp plan.
+///
+/// The plan is computed once per template and cached by the hypervisor
+/// (a sealed template is paused and frozen, so its grant table cannot
+/// change under the cache); the per-clone stamp then replays it without
+/// walking the template's region at all — the same precompiled-plan
+/// move the microreboot engine makes for restarts.
+#[derive(Debug, Clone)]
+pub(crate) struct StampPlan {
+    /// Every live grant entry of the template as
+    /// `(grantee, pfn, access)`, in grant-ref order.
+    pub entries: Vec<(DomId, Pfn, GrantAccess)>,
+    /// The granted PFNs alone, in the same order (the batch the memory
+    /// manager privatises per clone).
+    pub pfns: Vec<Pfn>,
+}
+
+/// Compiles the stamp plan of a sealed template.
+pub(crate) fn stamp_plan(regions: &FastMap<DomId, Region>, template: DomId) -> HvResult<StampPlan> {
+    let entries: Vec<(DomId, Pfn, GrantAccess)> = regions
+        .get(&template)
+        .ok_or(HvError::NoSuchDomain(template))?
+        .grant_table()
+        .entries_sorted()
+        .into_iter()
+        .map(|(_, e)| (e.grantee, e.pfn, e.access))
+        .collect();
+    let pfns = entries.iter().map(|&(_, pfn, _)| pfn).collect();
+    Ok(StampPlan { entries, pfns })
+}
+
+/// Snapshot-fork region stamp: replays the template's precompiled stamp
+/// plan into the clone's fresh region. Each stamped grant is
+/// established against a fresh private frame of the clone
+/// ([`MemoryManager::stamp_private_zero_batch`]): ring contents are
+/// re-initialised when the backend connects, and a backend mapping the
+/// clone's ring must never reach the template frame the clone still
+/// aliases elsewhere.
+pub(crate) fn clone_stamp(
+    regions: &mut FastMap<DomId, Region>,
+    mem: &mut MemoryManager,
+    template: DomId,
+    clone: DomId,
+    plan: &StampPlan,
+) -> HvResult<()> {
+    let op = CrossRegionOp::CloneStamp { template, clone };
+    let mut mfns = Vec::with_capacity(plan.pfns.len());
+    mem.stamp_private_zero_batch(clone, &plan.pfns, &mut mfns)?;
+    object_region_mut(regions, op, |r| {
+        for (&(grantee, pfn, access), &mfn) in plan.entries.iter().zip(&mfns) {
+            r.grants.grant(grantee, pfn, mfn, access)?;
+        }
+        Ok(())
+    })?
 }
 
 // ----- foreign memory and rollback (global machine memory) -----

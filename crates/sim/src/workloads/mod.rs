@@ -10,6 +10,7 @@ pub mod density;
 pub mod kernel_build;
 pub mod postmark;
 pub mod restart_sweep;
+pub mod serverless;
 pub mod smp;
 pub mod stagger;
 pub mod wget;

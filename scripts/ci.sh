@@ -42,6 +42,12 @@ cargo run --release --offline -p xoar-analysis --bin xoar-analyzer
 cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --selftest
 cargo run --release --offline -p xoar-analysis --bin xoar-lint
 
+# Serverless-density smoke: stamp 1k/10k/100k snapshot-fork clones from
+# one template and check the fleet stays ≥10x denser than built guests
+# (EXPERIMENTS.md's memory-density table). Release mode only — the 100k
+# row stamps a hundred thousand domains.
+cargo test -q --release --offline -p xoar-sim -- --ignored density_sweep_smoke --nocapture
+
 # Style gate, only where a rustfmt toolchain is present.
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
