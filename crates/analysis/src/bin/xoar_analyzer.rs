@@ -11,6 +11,13 @@
 //! frame aliases — including one between a clone template and its
 //! stamped clone) and verifies the rules catch each — proving the
 //! analyzer itself has teeth before CI trusts its clean run.
+//!
+//! The dynamic spec pass has its own pair of modes: `--spec-exhaustive`
+//! enumerates every small-scope op sequence with the lockstep checker
+//! attached (plus a randomized longer-sequence sweep) and fails on any
+//! divergence; `--spec-selftest` injects three known isolation
+//! violations and requires each to fire its distinct rule with a shrunk
+//! counterexample trace.
 
 use std::process::ExitCode;
 
@@ -18,11 +25,18 @@ use xoar_analysis::overpriv;
 use xoar_analysis::reach::Reachability;
 use xoar_analysis::rules;
 use xoar_analysis::snapshot::{DomainInfo, GrantEdge, ModelSnapshot, SharedFrame};
+use xoar_analysis::spec::drive;
 use xoar_core::platform::Platform;
 use xoar_hypervisor::domain::DomainRole;
 use xoar_hypervisor::{DomId, HvError, Hypercall, HypercallId, HypercallRet};
 
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--spec-exhaustive") {
+        return run_spec_exhaustive();
+    }
+    if std::env::args().any(|a| a == "--spec-selftest") {
+        return run_spec_selftest();
+    }
     let selftest = std::env::args().any(|a| a == "--selftest");
 
     let mut platform = match overpriv::traced_scenario() {
@@ -55,6 +69,74 @@ fn main() -> ExitCode {
         violations.len()
     );
     if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Exhaustive small-scope run of the lockstep isolation checker:
+/// every op sequence up to depth 3 over the driver alphabet, then a
+/// randomized sweep of longer sequences. Exits nonzero on any
+/// divergence (printing the shrunk reproducing trace).
+fn run_spec_exhaustive() -> ExitCode {
+    let mut ok = true;
+    for depth in 1..=3 {
+        let r = drive::exhaustive(depth);
+        println!(
+            "spec: exhaustive depth {} — {} sequences, {} ops, {} lockstep checks, {} divergence(s)",
+            r.length,
+            r.sequences,
+            r.ops_applied,
+            r.checks,
+            r.divergences.len()
+        );
+        for (seq, d) in &r.divergences {
+            ok = false;
+            eprintln!(
+                "spec: FAIL — divergence on sequence {seq:?}: {} ({})",
+                d.rule, d.detail
+            );
+            for &op in seq {
+                eprintln!("    {}", drive::OP_NAMES[op % drive::ALPHABET]);
+            }
+        }
+    }
+    match drive::random_sweep(300, 12) {
+        None => println!("spec: random sweep — 300 sequences up to 12 ops, 0 divergences"),
+        Some((minimal, report)) => {
+            ok = false;
+            eprintln!("spec: FAIL — random sweep diverged (minimal {minimal:?})");
+            eprintln!("{report}");
+        }
+    }
+    if ok {
+        println!("xoar-analyzer: spec exhaustive passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Proves the lockstep checker has teeth: three distinct known
+/// violations are injected behind the dispatch path and each must fire
+/// its rule, with a shrunk counterexample trace and a copy-pasteable
+/// regression test in the report.
+fn run_spec_selftest() -> ExitCode {
+    let mut ok = true;
+    for outcome in drive::selftest() {
+        if outcome.fired {
+            println!("spec selftest: {} fired as expected", outcome.rule);
+        } else {
+            eprintln!("spec selftest: FAIL — {} did not fire", outcome.rule);
+            ok = false;
+        }
+        for line in outcome.report.lines() {
+            println!("{line}");
+        }
+    }
+    if ok {
+        println!("xoar-analyzer: spec selftest passed (3 injections caught)");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

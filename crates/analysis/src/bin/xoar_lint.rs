@@ -2,8 +2,11 @@
 //!
 //! Scans every `crates/*/src/**/*.rs` file in the workspace, applies the
 //! layering rules from [`xoar_analysis::lint`], subtracts the committed
-//! allowlist (`crates/analysis/lint.allow`), and prints the survivors in
-//! stable sorted order. Exits nonzero iff any finding survives.
+//! allowlist (`crates/analysis/lint.allow` — absent by default: the
+//! workspace carries no suppressions), and prints the survivors in
+//! stable sorted order. Exits nonzero iff any finding survives, or if
+//! an allowlist entry suppresses nothing — stale debt must be deleted,
+//! so the list can only shrink.
 //!
 //! Usage: `xoar-lint [--root <repo-root>]` — the root defaults to the
 //! workspace this binary was built from, so `cargo run -p xoar-analysis
@@ -47,17 +50,22 @@ fn main() -> ExitCode {
     };
 
     let findings = lint_sources(&files);
+    let stale = allow.unused_entries(&findings);
     let (kept, suppressed) = apply_allowlist(findings, &allow);
     for f in &kept {
         println!("{}", f.render());
     }
+    for entry in &stale {
+        println!("stale allowlist entry (suppresses nothing — delete it): {entry}");
+    }
     println!(
-        "xoar-lint: {} file(s), {} finding(s), {} allowlisted",
+        "xoar-lint: {} file(s), {} finding(s), {} allowlisted, {} stale entr(ies)",
         files.len(),
         kept.len(),
-        suppressed.len()
+        suppressed.len(),
+        stale.len()
     );
-    if kept.is_empty() {
+    if kept.is_empty() && stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -28,6 +28,15 @@
 //! Every report is deterministic: all collections are ordered
 //! (`BTreeMap` / sorted `Vec`s) so two runs over the same platform or
 //! tree produce byte-identical output.
+//!
+//! A third, *dynamic* pass complements the static rules: [`spec`] is an
+//! executable isolation specification — a small memory-ownership model
+//! advanced in lockstep with the real hypervisor on every hypercall via
+//! the dispatch hook, asserting after each step that the implementation
+//! refines the model (every mapping, grant, CoW alias, and
+//! clone fall-through is justified; no frame is cross-domain
+//! read-visible without a declared edge). Divergences carry a minimal
+//! reproducing op trace shrunk by the in-tree property harness.
 
 #![warn(missing_docs)]
 
@@ -36,3 +45,4 @@ pub mod overpriv;
 pub mod reach;
 pub mod rules;
 pub mod snapshot;
+pub mod spec;

@@ -798,6 +798,22 @@ impl Allowlist {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Entries that suppress none of `findings`, rendered back in the
+    /// committed `path|rule|needle` form. A stale entry is debt that
+    /// outlived its finding: the lint treats it as a failure so the
+    /// list can only shrink toward its default — empty.
+    pub fn unused_entries(&self, findings: &[LintFinding]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(p, r, n)| {
+                !findings
+                    .iter()
+                    .any(|f| p == &f.file && r == &f.rule && f.excerpt.contains(n.as_str()))
+            })
+            .map(|(p, r, n)| format!("{p}|{r}|{n}"))
+            .collect()
+    }
 }
 
 /// Splits findings into `(kept, suppressed)` under an allowlist.
@@ -1003,6 +1019,26 @@ mod tests {
         assert_eq!(kept.len(), 1);
         assert_eq!(suppressed.len(), 1);
         assert!(kept[0].excerpt.contains("z.unwrap"));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let bad = file("crates/hypervisor/src/x.rs", "fn f() { y.unwrap(); }");
+        let v = lint_sources(&[bad]);
+        let allow = Allowlist::parse(
+            "crates/hypervisor/src/x.rs|no-panic|y.unwrap()\n\
+             crates/hypervisor/src/x.rs|no-panic|gone.unwrap()\n\
+             crates/hypervisor/src/other.rs|no-panic|y.unwrap()\n",
+        );
+        let stale = allow.unused_entries(&v);
+        assert_eq!(
+            stale,
+            vec![
+                "crates/hypervisor/src/x.rs|no-panic|gone.unwrap()".to_string(),
+                "crates/hypervisor/src/other.rs|no-panic|y.unwrap()".to_string(),
+            ]
+        );
+        assert!(Allowlist::default().unused_entries(&v).is_empty());
     }
 
     #[test]

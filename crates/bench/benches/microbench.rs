@@ -35,6 +35,22 @@ fn bench_hypercalls(h: &mut Harness) {
     h.bench_function("hypercall/denied_privileged", || {
         let _ = p.hv.hypercall(black_box(g), Hypercall::SysctlPhysinfo);
     });
+    // The dispatch path with the isolation-spec checker *absent*: the
+    // hook gate must cost one untaken branch, nothing more. bench-gate
+    // holds this within 1.05x of the plain sched_yield number above.
+    debug_assert!(p.hv.dispatch_hook().is_none());
+    h.bench_function("hypercall/dispatch_spec_off", || {
+        p.hv.hypercall(black_box(g), Hypercall::SchedYield).unwrap();
+    });
+    // ...and with the checker attached: every hypercall advances the
+    // memory-ownership model and re-verifies refinement. Debug tooling,
+    // not a production path — reported for the EXPERIMENTS.md overhead
+    // table, deliberately not a gated hot path.
+    let _spec = xoar_analysis::spec::SpecHandle::attach(&mut p.hv);
+    h.bench_function("hypercall/dispatch_spec_on", || {
+        p.hv.hypercall(black_box(g), Hypercall::SchedYield).unwrap();
+    });
+    p.hv.take_dispatch_hook();
 }
 
 fn bench_events(h: &mut Harness) {
@@ -43,7 +59,8 @@ fn bench_events(h: &mut Harness) {
     let port =
         p.hv.hypercall(g, Hypercall::EvtchnAllocUnbound { remote: nb })
             .unwrap()
-            .port();
+            .port()
+            .unwrap();
     let nb_port =
         p.hv.hypercall(
             nb,
@@ -53,7 +70,8 @@ fn bench_events(h: &mut Harness) {
             },
         )
         .unwrap()
-        .port();
+        .port()
+        .unwrap();
     h.bench_function("evtchn/send_poll", || {
         p.hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
         p.hv.poll_event(black_box(nb)).unwrap();
@@ -108,7 +126,8 @@ fn bench_grants(h: &mut Harness) {
             },
         )
         .unwrap()
-        .grant_ref();
+        .grant_ref()
+        .unwrap();
     h.bench_function("grant/map_unmap", || {
         p.hv.hypercall(nb, Hypercall::GnttabMapGrantRef { granter: g, gref })
             .unwrap();
@@ -184,6 +203,7 @@ fn bench_batched_paths(h: &mut Harness) {
             )
             .unwrap()
             .grant_ref()
+            .unwrap()
         })
         .collect();
     // The guest-handle model: the ref array lives in "guest memory" once;
@@ -216,7 +236,8 @@ fn bench_batched_paths(h: &mut Harness) {
     let port =
         p.hv.hypercall(g, Hypercall::EvtchnAllocUnbound { remote: nb })
             .unwrap()
-            .port();
+            .port()
+            .unwrap();
     p.hv.hypercall(
         nb,
         Hypercall::EvtchnBindInterdomain {

@@ -163,7 +163,7 @@ impl Builder {
                     vcpus: req.vcpus,
                 },
             )?
-            .dom_id();
+            .dom_id()?;
         // Populate a model-scale number of frames: 1 frame per MiB keeps
         // simulations cheap while preserving proportionality.
         let frames = req.memory_mib.max(4);

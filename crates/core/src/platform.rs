@@ -493,7 +493,8 @@ impl Platform {
                 },
             )
             .expect("boot-time domain creation")
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             bootstrapper,
             Hypercall::MemoryPopulate {
@@ -769,7 +770,7 @@ impl Platform {
                             vcpus: 1,
                         },
                     )?
-                    .dom_id();
+                    .dom_id()?;
                 self.hv.hypercall(
                     builder,
                     Hypercall::MemoryPopulate {
@@ -1033,7 +1034,7 @@ impl Platform {
                     name: name.to_string(),
                 },
             )?
-            .dom_id();
+            .dom_id()?;
         let now = self.hv.now_ns();
         self.audit.append(
             now,
@@ -1166,7 +1167,7 @@ impl Platform {
         let front_port = self
             .hv
             .hypercall(clone, Hypercall::EvtchnAllocUnbound { remote: backend })?
-            .port();
+            .port()?;
         let back_port = self
             .hv
             .hypercall(
@@ -1176,7 +1177,7 @@ impl Platform {
                     remote_port: front_port,
                 },
             )?
-            .port();
+            .port()?;
         let ring = xoar_devices::RingId {
             granter: clone,
             gref,

@@ -193,7 +193,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .port();
+            .port()
+            .unwrap();
         assert!(cm.send_input(&mut hv, guest, b"ls\n"));
         assert_eq!(hv.poll_event(guest).unwrap().port, port);
         assert_eq!(cm.take_input(guest), b"ls\n");

@@ -193,7 +193,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {

@@ -238,10 +238,10 @@ pub fn frontend_init<Req, Resp>(
                 access: GrantAccess::ReadWrite,
             },
         )?
-        .grant_ref();
+        .grant_ref()?;
     let port = hv
         .hypercall(guest, Hypercall::EvtchnAllocUnbound { remote: backend })?
-        .port();
+        .port()?;
     hub.create(RingId {
         granter: guest,
         gref,
@@ -305,7 +305,7 @@ pub fn backend_accept(
                 remote_port: front_port,
             },
         )?
-        .port();
+        .port()?;
     xs.write_str(
         backend,
         &format!("{bp}/state"),
@@ -423,7 +423,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {

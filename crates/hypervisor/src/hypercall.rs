@@ -12,7 +12,7 @@
 //! [`crate::hypervisor::Hypervisor::hypercall`].
 
 use crate::domain::DomId;
-use crate::error::HvResult;
+use crate::error::{HvError, HvResult};
 use crate::event::VirqKind;
 use crate::grant::{GrantAccess, GrantCopyOp, GrantOpStatus, GrantRef};
 use crate::memory::{Mfn, Pfn};
@@ -695,75 +695,64 @@ pub enum HypercallRet {
 }
 
 impl HypercallRet {
-    /// Extracts a port number, panicking if the variant does not match.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::Port`].
-    pub fn port(self) -> u32 {
+    /// Extracts a port number, or [`HvError::InvalidArgument`] if the
+    /// variant does not match (a caller-side typing mistake).
+    pub fn port(self) -> HvResult<u32> {
         match self {
-            HypercallRet::Port(p) => p,
-            other => panic!("expected Port, got {other:?}"),
+            HypercallRet::Port(p) => Ok(p),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected Port, got {other:?}"
+            ))),
         }
     }
 
     /// Extracts a grant reference.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::GrantRef`].
-    pub fn grant_ref(self) -> GrantRef {
+    pub fn grant_ref(self) -> HvResult<GrantRef> {
         match self {
-            HypercallRet::GrantRef(g) => g,
-            other => panic!("expected GrantRef, got {other:?}"),
+            HypercallRet::GrantRef(g) => Ok(g),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected GrantRef, got {other:?}"
+            ))),
         }
     }
 
     /// Extracts a pseudo-physical frame number.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::Pfn`].
-    pub fn pfn(self) -> Pfn {
+    pub fn pfn(self) -> HvResult<Pfn> {
         match self {
-            HypercallRet::Pfn(p) => p,
-            other => panic!("expected Pfn, got {other:?}"),
+            HypercallRet::Pfn(p) => Ok(p),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected Pfn, got {other:?}"
+            ))),
         }
     }
 
     /// Extracts a domain ID.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::DomId`].
-    pub fn dom_id(self) -> DomId {
+    pub fn dom_id(self) -> HvResult<DomId> {
         match self {
-            HypercallRet::DomId(d) => d,
-            other => panic!("expected DomId, got {other:?}"),
+            HypercallRet::DomId(d) => Ok(d),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected DomId, got {other:?}"
+            ))),
         }
     }
 
     /// Extracts the per-entry results of a multicall.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::Multi`].
-    pub fn multi(self) -> Vec<HvResult<HypercallRet>> {
+    pub fn multi(self) -> HvResult<Vec<HvResult<HypercallRet>>> {
         match self {
-            HypercallRet::Multi(v) => v,
-            other => panic!("expected Multi, got {other:?}"),
+            HypercallRet::Multi(v) => Ok(v),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected Multi, got {other:?}"
+            ))),
         }
     }
 
     /// Extracts the per-entry statuses of a batched grant operation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the return value is not [`HypercallRet::GrantBatch`].
-    pub fn grant_batch(self) -> Vec<GrantOpStatus> {
+    pub fn grant_batch(self) -> HvResult<Vec<GrantOpStatus>> {
         match self {
-            HypercallRet::GrantBatch(v) => v,
-            other => panic!("expected GrantBatch, got {other:?}"),
+            HypercallRet::GrantBatch(v) => Ok(v),
+            other => Err(HvError::InvalidArgument(format!(
+                "expected GrantBatch, got {other:?}"
+            ))),
         }
     }
 }
@@ -829,9 +818,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expected Port")]
-    fn ret_extractors_panic_on_mismatch() {
-        HypercallRet::Ok.port();
+    fn ret_extractors_error_on_mismatch() {
+        let err = HypercallRet::Ok.port().unwrap_err();
+        assert!(
+            matches!(&err, HvError::InvalidArgument(m) if m.contains("expected Port")),
+            "got {err:?}"
+        );
+        assert!(HypercallRet::Ok.grant_ref().is_err());
+        assert!(HypercallRet::Ok.pfn().is_err());
+        assert!(HypercallRet::Ok.dom_id().is_err());
+        assert!(HypercallRet::Ok.multi().is_err());
+        assert!(HypercallRet::Ok.grant_batch().is_err());
+        // Matching variants extract cleanly.
+        assert_eq!(HypercallRet::Port(7).port().unwrap(), 7);
+        assert_eq!(HypercallRet::DomId(DomId(3)).dom_id().unwrap(), DomId(3));
     }
 
     #[test]

@@ -42,6 +42,34 @@ use crate::xregion;
 /// reachability matrix against this set.
 pub type DeclaredOps = BTreeSet<(&'static str, DomId, DomId)>;
 
+/// An observer attached to the hypercall gate.
+///
+/// This is the seam the executable isolation spec hangs off: a hook
+/// sees every *permitted* hypercall immediately after dispatch, with
+/// the call as issued and the result it produced, and may read (never
+/// mutate) the hypervisor to compare real state against its own model.
+/// Whitelist denials never reach the hook — a denied call changes no
+/// state, so there is nothing to keep in lockstep.
+///
+/// A hook must not panic: the gate is TCB code and the no-panic lint
+/// covers the call path. Divergence is recorded and surfaced through
+/// [`DispatchHook::divergence`]; the driver (a test, the analyzer's
+/// small-scope enumerator) asserts on it outside the gate.
+pub trait DispatchHook {
+    /// Observes one completed hypercall. Runs after the operation's
+    /// state changes have committed, so `hv` shows the post-state.
+    fn after_hypercall(
+        &mut self,
+        hv: &Hypervisor,
+        caller: DomId,
+        call: &Hypercall,
+        result: &HvResult<HypercallRet>,
+    );
+
+    /// The first divergence this hook has observed, if any.
+    fn divergence(&self) -> Option<String>;
+}
+
 /// A record of one hypercall, for the audit log (§3.2.2).
 #[derive(Debug, Clone)]
 pub struct HypercallTrace {
@@ -98,6 +126,9 @@ pub struct Hypervisor {
     /// first clone of each sealed template and replayed thereafter.
     stamp_plans: FastMap<DomId, xregion::StampPlan>,
     snapshots: SnapshotManager,
+    /// Lockstep spec-checker hook, if attached. `None` on every bench
+    /// and production path: the gate pays one branch for the check.
+    hook: Option<Box<dyn DispatchHook>>,
     now_ns: u64,
     tracing: bool,
     trace: Vec<HypercallTrace>,
@@ -121,6 +152,7 @@ impl Hypervisor {
             declared: FastSet::default(),
             stamp_plans: FastMap::default(),
             snapshots: SnapshotManager::new(),
+            hook: None,
             now_ns: 0,
             tracing: false,
             trace: Vec::new(),
@@ -453,9 +485,46 @@ impl Hypervisor {
             self.record(caller, id, false);
             return Err(e);
         }
+        if self.hook.is_some() {
+            return self.hypercall_observed(caller, call);
+        }
         let result = self.dispatch(caller, call);
         self.record(caller, id, result.is_ok());
         result
+    }
+
+    /// The observed slow path of the gate: clone the call (the hook
+    /// needs it after dispatch consumes it), dispatch, then let the
+    /// detached hook read the post-state. Outlined so the common
+    /// hook-less dispatch pays exactly one predicted-not-taken branch.
+    #[inline(never)]
+    fn hypercall_observed(&mut self, caller: DomId, call: Hypercall) -> HvResult<HypercallRet> {
+        let id = call.id();
+        let observed = call.clone();
+        let result = self.dispatch(caller, call);
+        self.record(caller, id, result.is_ok());
+        // Take/put-back: the hook borrows `self` immutably while it is
+        // not reachable through `self`, so no aliasing.
+        if let Some(mut hook) = self.hook.take() {
+            hook.after_hypercall(self, caller, &observed, &result);
+            self.hook = Some(hook);
+        }
+        result
+    }
+
+    /// Attaches a lockstep dispatch hook (replacing any previous one).
+    pub fn set_dispatch_hook(&mut self, hook: Box<dyn DispatchHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Detaches and returns the dispatch hook, if one is attached.
+    pub fn take_dispatch_hook(&mut self) -> Option<Box<dyn DispatchHook>> {
+        self.hook.take()
+    }
+
+    /// Read-only view of the attached dispatch hook.
+    pub fn dispatch_hook(&self) -> Option<&dyn DispatchHook> {
+        self.hook.as_deref()
     }
 
     fn dispatch(&mut self, caller: DomId, call: Hypercall) -> HvResult<HypercallRet> {
@@ -1017,7 +1086,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {
@@ -1162,7 +1232,8 @@ mod tests {
         let port = hv
             .hypercall(g, Hypercall::EvtchnAllocUnbound { remote: dom0 })
             .unwrap()
-            .port();
+            .port()
+            .unwrap();
         let p0 = hv
             .hypercall(
                 dom0,
@@ -1172,7 +1243,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .port();
+            .port()
+            .unwrap();
         hv.hypercall(g, Hypercall::EvtchnSend { port }).unwrap();
         assert_eq!(hv.poll_event(dom0).unwrap().port, p0);
     }
@@ -1223,7 +1295,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .grant_ref();
+            .grant_ref()
+            .unwrap();
         hv.hypercall(dom0, Hypercall::GnttabMapGrantRef { granter: a, gref })
             .unwrap();
     }
@@ -1258,7 +1331,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         // The other toolstack holds the same *hypercalls* but is not the
         // parent: per-argument check refuses it.
         let err = hv
@@ -1290,7 +1364,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         // The toolstack does not itself hold MmuMapForeign, so it cannot
         // confer it.
         let err = hv
@@ -1454,7 +1529,8 @@ mod transfer_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {
@@ -1488,7 +1564,8 @@ mod transfer_hypercall_tests {
                 },
             )
             .unwrap()
-            .grant_ref();
+            .grant_ref()
+            .unwrap();
         let new_pfn = match hv
             .hypercall(nb, Hypercall::GnttabAcceptTransfer { granter: g, gref })
             .unwrap()
@@ -1519,7 +1596,8 @@ mod transfer_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {
@@ -1554,7 +1632,8 @@ mod transfer_hypercall_tests {
                 },
             )
             .unwrap()
-            .grant_ref();
+            .grant_ref()
+            .unwrap();
         let err = hv
             .hypercall(dom0, Hypercall::GnttabAcceptTransfer { granter: g, gref })
             .unwrap_err();
@@ -1588,7 +1667,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.hypercall(
             dom0,
             Hypercall::MemoryPopulate {
@@ -1624,7 +1704,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .multi();
+            .multi()
+            .unwrap();
         assert_eq!(ret.len(), 3);
         assert_eq!(ret[0], Ok(HypercallRet::Ok));
         assert!(matches!(
@@ -1646,7 +1727,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .multi();
+            .multi()
+            .unwrap();
         assert_eq!(ret[0], Ok(HypercallRet::Ok));
         assert!(matches!(ret[1], Err(HvError::PermissionDenied { .. })));
         // The denied sub-call must be visible to the over-privilege
@@ -1674,7 +1756,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .multi();
+            .multi()
+            .unwrap();
         assert!(matches!(ret[0], Err(HvError::InvalidArgument(_))));
         assert_eq!(ret[1], Ok(HypercallRet::Ok));
     }
@@ -1694,7 +1777,8 @@ mod multicall_tests {
                     },
                 )
                 .unwrap()
-                .grant_ref(),
+                .grant_ref()
+                .unwrap(),
             );
         }
         let mut batch = refs.clone();
@@ -1709,7 +1793,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .grant_batch();
+            .grant_batch()
+            .unwrap();
         assert_eq!(mapped.len(), 5);
         for r in &mapped[..4] {
             assert!(matches!(r, GrantOpStatus::Done(_)));
@@ -1724,7 +1809,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .grant_batch();
+            .grant_batch()
+            .unwrap();
         for (m, u) in mapped[..4].iter().zip(&unmapped[..4]) {
             assert_eq!(m, u, "unmap must release the same frame map resolved");
         }
@@ -1745,7 +1831,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .grant_ref();
+            .grant_ref()
+            .unwrap();
         let ops = vec![crate::grant::GrantCopyOp {
             gref,
             dir: crate::grant::GrantCopyDir::FromGrant,
@@ -1760,7 +1847,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .grant_batch();
+            .grant_batch()
+            .unwrap();
         assert!(ret[0].is_ok());
         let page = hv.mem.read(nb, Pfn(0)).unwrap();
         assert_eq!(&page.as_slice()[..10], b"from-guest");
@@ -1780,7 +1868,8 @@ mod multicall_tests {
                 },
             )
             .unwrap()
-            .grant_batch();
+            .grant_batch()
+            .unwrap();
         assert!(ret[0].is_ok());
         let page = hv.mem.read(g, Pfn(1)).unwrap();
         assert_eq!(&page.as_slice()[..10], b"from-shard");
@@ -1827,7 +1916,8 @@ mod clone_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         // The template is sealed (paused); the clone is live.
         assert_eq!(hv.domain(g).unwrap().state, DomainState::Paused);
         assert_eq!(hv.domain(c).unwrap().state, DomainState::Running);
@@ -1862,7 +1952,8 @@ mod clone_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         hv.mem.write(c, Pfn(0), b"clone-data").unwrap();
         assert_eq!(
             &hv.mem.read(c, Pfn(0)).unwrap().as_slice()[..10],
@@ -1887,7 +1978,8 @@ mod clone_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         let err = hv
             .hypercall(dom0, Hypercall::DomctlDestroyDomain { target: g })
             .unwrap_err();
@@ -1933,7 +2025,8 @@ mod clone_hypercall_tests {
                 },
             )
             .unwrap()
-            .dom_id();
+            .dom_id()
+            .unwrap();
         let err = hv
             .hypercall(
                 dom0,

@@ -160,22 +160,46 @@ impl Runner {
     /// # Panics
     ///
     /// Panics on the first failing case, after shrinking, with a message
-    /// naming the property, the seed, and the minimal choice sequence.
+    /// naming the property, the seed, the minimal choice sequence, and a
+    /// copy-pasteable regression-test body pinning that sequence.
     pub fn run(&self, name: &str, mut property: impl FnMut(&mut Gen)) {
+        if let Some((case, minimal)) = self.find_failure(&mut property) {
+            panic!(
+                "property '{name}' failed (seed {:#x}, case {case}/{}); \
+                 minimal choice sequence {:?} — replay with \
+                 Runner::check_replay(&{:?}, ...)\n\n{}",
+                self.seed,
+                self.cases,
+                minimal,
+                minimal,
+                replay_test_body(name, &minimal)
+            );
+        }
+    }
+
+    /// Runs `property` and returns the shrunk counterexample, if any.
+    ///
+    /// Unlike [`Runner::run`] this never panics on failure: it returns
+    /// `Some(minimal_choice_sequence)` for the first failing case (after
+    /// shrinking) and `None` when every case passes. Drivers that want
+    /// to report divergences themselves — the spec checker's selftest,
+    /// for instance — use this and format the trace their own way.
+    pub fn counterexample(&self, mut property: impl FnMut(&mut Gen)) -> Option<Vec<u64>> {
+        self.find_failure(&mut property).map(|(_, minimal)| minimal)
+    }
+
+    /// The first failing case index plus its shrunk choice sequence.
+    fn find_failure(&self, property: &mut impl FnMut(&mut Gen)) -> Option<(u32, Vec<u64>)> {
         for case in 0..self.cases {
             let case_seed = SimRng::new(self.seed ^ case as u64).next_u64();
             let mut g = Gen::random(case_seed);
             let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
             if outcome.is_err() {
-                let minimal = shrink(g.taken.clone(), &mut property);
-                panic!(
-                    "property '{name}' failed (seed {:#x}, case {case}/{}); \
-                     minimal choice sequence {:?} — replay with \
-                     Runner::check_replay(&{:?}, ...)",
-                    self.seed, self.cases, minimal, minimal
-                );
+                let minimal = shrink(g.taken.clone(), property);
+                return Some((case, minimal));
             }
         }
+        None
     }
 
     /// Replays one explicit choice sequence (no generation, no shrink).
@@ -190,6 +214,37 @@ impl Runner {
             Err(payload) => Err(panic_message(payload.as_ref())),
         }
     }
+}
+
+/// Renders a shrunk counterexample as a copy-pasteable Rust test body.
+///
+/// The emitted test replays the pinned choice sequence through
+/// [`Runner::check_replay`] and expects it to pass, so a divergence
+/// found by a property run lands as a regression test in one
+/// paste-then-fix step (the `/* property body */` placeholder is the
+/// closure that originally failed).
+pub fn replay_test_body(name: &str, choices: &[u64]) -> String {
+    let ident: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!(
+        "#[test]\n\
+         fn replay_{ident}() {{\n\
+         \x20   // Shrunk counterexample for property '{name}'.\n\
+         \x20   let choices: &[u64] = &{choices:?};\n\
+         \x20   xoar_sim::prop::Runner::check_replay(choices, |g| {{\n\
+         \x20       /* property body */\n\
+         \x20   }})\n\
+         \x20   .expect(\"pinned counterexample must pass after the fix\");\n\
+         }}\n"
+    )
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -347,6 +402,44 @@ mod tests {
         assert_eq!(Runner::check_replay(&[7], property), Ok(()));
         let err = Runner::check_replay(&[60], property).expect_err("60 fails");
         assert!(err.contains("too big"), "message: {err}");
+    }
+
+    #[test]
+    fn counterexample_returns_shrunk_sequence_without_panicking() {
+        let property = |g: &mut Gen| {
+            let v = g.u64(0..1 << 32);
+            assert!(v < 10, "value {v} out of spec");
+        };
+        let minimal = Runner::cases(100)
+            .counterexample(property)
+            .expect("property must fail somewhere in 100 cases");
+        assert_eq!(minimal, vec![10], "shrinks to the exact boundary");
+        assert!(Runner::cases(50)
+            .counterexample(|g| {
+                let _ = g.u64(0..10);
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn replay_test_body_is_copy_pasteable() {
+        let body = replay_test_body("clone isolation, v2", &[3, 7]);
+        assert!(
+            body.contains("fn replay_clone_isolation__v2()"),
+            "body: {body}"
+        );
+        assert!(body.contains("&[3, 7]"), "body: {body}");
+        assert!(body.contains("Runner::check_replay"), "body: {body}");
+        // And the failure message embeds it.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            Runner::cases(100).run("embed body", |g| {
+                let v = g.u64(0..100);
+                assert!(v <= 5, "got {v}");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("fn replay_embed_body()"), "message: {msg}");
     }
 
     #[test]

@@ -93,7 +93,8 @@ impl SmpWorkload {
                     .hv
                     .hypercall(guest, Hypercall::EvtchnAllocUnbound { remote: xs })
                     .expect("guest offers event channel")
-                    .port();
+                    .port()
+                    .unwrap();
                 platform
                     .hv
                     .hypercall(

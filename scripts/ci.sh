@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --workspace --offline
 
 # Bench gate: run the deterministic harnesses and keep their
 # machine-readable tails (the harness prints one JSON document as the
@@ -36,11 +36,22 @@ echo "bench baselines written: BENCH_microbench.json BENCH_ablation.json"
 # traced reference scenario — including the declared-cross-region-ops
 # ledger check — plus the selftest proving the rules fire on injected
 # violations) and Pass B (token-level boundary/no-panic/region-isolation/
-# dispatch lint over crates/*/src with the committed allowlist). Each
-# exits nonzero on any violation or un-allowlisted finding.
+# dispatch lint over crates/*/src; the allowlist is empty by default and
+# any stale entry fails the lint). Each exits nonzero on any violation
+# or un-allowlisted finding.
 cargo run --release --offline -p xoar-analysis --bin xoar-analyzer
 cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --selftest
 cargo run --release --offline -p xoar-analysis --bin xoar-lint
+
+# Spec gate: the executable isolation spec run in lockstep with the
+# hypervisor. --spec-exhaustive enumerates every small-scope op
+# sequence (plus a randomized longer sweep) and fails on any divergence
+# between the real state and the memory-ownership model;
+# --spec-selftest injects three known violations (revoked-grant
+# resurrection, backdoor clone fall-through, raw frame alias) and fails
+# unless each fires its rule with a shrunk counterexample trace.
+cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --spec-exhaustive
+cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --spec-selftest
 
 # Serverless-density smoke: stamp 1k/10k/100k snapshot-fork clones from
 # one template and check the fleet stays ≥10x denser than built guests

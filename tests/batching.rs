@@ -32,6 +32,7 @@ fn granted_platform(n: u32) -> (Platform, DomId, DomId, Vec<GrantRef>) {
             )
             .expect("grant")
             .grant_ref()
+            .unwrap()
         })
         .collect();
     (p, g, nb, refs)
@@ -73,9 +74,14 @@ fn grant_batches_equal_singles() {
                 .hv
                 .hypercall(nb, Hypercall::Multicall { calls: vec![call] })
                 .expect("multicall itself is unprivileged")
-                .multi();
+                .multi()
+                .unwrap();
             assert_eq!(outer.len(), 1);
-            let batched = outer[0].clone().expect("batch op dispatches").grant_batch();
+            let batched = outer[0]
+                .clone()
+                .expect("batch op dispatches")
+                .grant_batch()
+                .unwrap();
             // B: the same entries, one hypercall each. Singles return rich
             // HvResults; batches return compact per-entry statuses — fold
             // the rich shape down and they must agree entry for entry.
@@ -125,7 +131,8 @@ fn event_drain_equals_poll_loop() {
                 let port =
                     p.hv.hypercall(g, Hypercall::EvtchnAllocUnbound { remote: nb })
                         .expect("alloc")
-                        .port();
+                        .port()
+                        .unwrap();
                 p.hv.hypercall(
                     nb,
                     Hypercall::EvtchnBindInterdomain {

@@ -222,6 +222,61 @@ fn thousand_clone_fleet_is_dense_and_analyzer_green() {
 }
 
 #[test]
+fn rollback_does_not_resurrect_grants_revoked_after_snapshot() {
+    // Regression guard for the isolation-spec checker's sharpest case:
+    // a clone takes a microreboot snapshot, then grants a page and
+    // *revokes* it after the snapshot. Rolling back must restore page
+    // contents only — if the rollback path ever restored region state
+    // wholesale, the revoked capability would come back from the dead
+    // and a stale backend mapping would be re-armed.
+    let (mut p, _ts, _built, _tpl, clone) = cloned_world();
+    let backend = p.services.netbacks[0];
+    let h = xoar_analysis::spec::SpecHandle::attach(&mut p.hv);
+    p.hv.hypercall(clone, Hypercall::VmSnapshot).unwrap();
+    let gref =
+        p.hv.hypercall(
+            clone,
+            Hypercall::GnttabGrantAccess {
+                grantee: backend,
+                pfn: Pfn(5),
+                access: xoar_hypervisor::grant::GrantAccess::ReadWrite,
+            },
+        )
+        .unwrap()
+        .grant_ref()
+        .unwrap();
+    p.hv.mem.write(clone, Pfn(5), b"post-snapshot").unwrap();
+    p.hv.hypercall(clone, Hypercall::GnttabEndAccess { gref })
+        .unwrap();
+    let builder = p.services.builder;
+    p.hv.hypercall(builder, Hypercall::VmRollback { target: clone })
+        .unwrap();
+    // The real table must not hold the revoked capability...
+    let resurrected =
+        p.hv.grant_table(clone)
+            .unwrap()
+            .entries_sorted()
+            .into_iter()
+            .any(|(_, e)| e.grantee == backend && e.pfn == Pfn(5));
+    assert!(!resurrected, "rollback resurrected a revoked grant");
+    // ...and the lockstep checker agrees: the model still remembers the
+    // revocation, and no divergence (in particular no
+    // `revoked-grant-resurrected`) fired across the whole sequence.
+    assert!(
+        h.state()
+            .revoked
+            .iter()
+            .any(|&(granter, f)| granter == clone && f.grantee == backend && f.pfn == 5),
+        "model lost the revocation fact"
+    );
+    assert!(
+        h.divergence().is_none(),
+        "spec diverged:\n{}",
+        h.report().unwrap_or_default()
+    );
+}
+
+#[test]
 fn destroyed_clone_frees_its_private_frames_only() {
     let (mut p, mut ts, _built, tpl, clone) = cloned_world();
     p.hv.mem.write(clone, Pfn(0), b"private").unwrap();

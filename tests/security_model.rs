@@ -228,3 +228,127 @@ fn dos_against_xenstore_is_quota_bounded() {
     p.xs.write_str(b, &format!("/local/domain/{}/data/ok", b.0), "fine")
         .unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Spec-backed noninterference: the same claims the probes above make by
+// poking implementation interfaces, restated as queries against the
+// executable isolation spec advanced in lockstep with the hypervisor.
+
+#[test]
+fn spec_model_shows_guests_mutually_invisible() {
+    let (mut p, _ts, a, b) = xoar_with_two_guests();
+    let h = xoar_analysis::spec::SpecHandle::attach(&mut p.hv);
+    // Drive the denied probes under the checker: failed ops must leave
+    // the model (and the real state it mirrors) untouched.
+    let _ = p.hv.hypercall(
+        a,
+        Hypercall::MmuMapForeign {
+            target: b,
+            pfn: Pfn(0),
+        },
+    );
+    let _ = p.hv.hypercall(
+        a,
+        Hypercall::GnttabGrantAccess {
+            grantee: b,
+            pfn: Pfn(0),
+            access: GrantAccess::ReadOnly,
+        },
+    );
+    let s = h.state();
+    assert!(!s.can_see(a, b), "guest a must not observe guest b");
+    assert!(!s.can_see(b, a), "guest b must not observe guest a");
+    assert_eq!(s.sharing_justification(a, b), None);
+    assert!(
+        h.divergence().is_none(),
+        "spec diverged:\n{}",
+        h.report().unwrap_or_default()
+    );
+}
+
+#[test]
+fn spec_model_justifies_backend_reach_by_grant_only() {
+    let (mut p, _ts, a, b) = xoar_with_two_guests();
+    let backend = p.services.netbacks[0];
+    let h = xoar_analysis::spec::SpecHandle::attach(&mut p.hv);
+    let gref =
+        p.hv.hypercall(
+            a,
+            Hypercall::GnttabGrantAccess {
+                grantee: backend,
+                pfn: Pfn(7),
+                access: GrantAccess::ReadWrite,
+            },
+        )
+        .unwrap()
+        .grant_ref()
+        .unwrap();
+    let s = h.state();
+    // The backend reaches a's page through the grant and nothing wider:
+    // no blanket privilege, no privileged-for edge.
+    assert!(s.can_see(backend, a));
+    assert_eq!(s.sharing_justification(backend, a), Some("grant"));
+    assert!(!s.blanket.contains(&backend), "backend holds no blanket");
+    assert!(!s.priv_for.contains(&(backend, a)));
+    // The grant names exactly one page, and b stays out of the picture.
+    let facts = s.grants_by(a);
+    assert!(facts
+        .iter()
+        .any(|&(g, f)| g == gref.0 && f.grantee == backend && f.pfn == 7));
+    // Whatever reach the backend has into b (its boot-time ring grants)
+    // is grant-shaped too — never blanket or privileged-for.
+    if s.can_see(backend, b) {
+        assert_eq!(s.sharing_justification(backend, b), Some("grant"));
+    }
+    assert!(!s.can_see(b, a));
+    // Revocation withdraws the visibility in the model too.
+    drop(s);
+    p.hv.hypercall(a, Hypercall::GnttabEndAccess { gref })
+        .unwrap();
+    let s = h.state();
+    assert!(
+        !s.grants_by(a)
+            .iter()
+            .any(|&(_, f)| f.grantee == backend && f.pfn == 7),
+        "revoked grant must leave the model"
+    );
+    assert!(
+        h.divergence().is_none(),
+        "spec diverged:\n{}",
+        h.report().unwrap_or_default()
+    );
+}
+
+#[test]
+fn spec_model_isolates_clone_template_sharing() {
+    let mut p = Platform::xoar(XoarConfig::default());
+    let ts = p.services.toolstacks[0];
+    let mut tool = xoar_core::toolstack::Toolstack::new(&p, 0);
+    let bystander = p
+        .create_guest(ts, GuestConfig::evaluation_guest("bystander"))
+        .unwrap();
+    let tpl = tool
+        .create(&mut p, GuestConfig::evaluation_guest("golden"))
+        .unwrap();
+    tool.capture_template(&mut p, tpl).unwrap();
+    let h = xoar_analysis::spec::SpecHandle::attach(&mut p.hv);
+    let c1 = tool.clone(&mut p, tpl, "fx-1").unwrap();
+    let c2 = tool.clone(&mut p, tpl, "fx-2").unwrap();
+    let s = h.state();
+    // Clones share with their template and siblings — and the model
+    // names that justification precisely.
+    assert!(s.clone_linked(c1, tpl));
+    assert!(s.clone_linked(c1, c2), "siblings share a template");
+    assert_eq!(s.sharing_justification(c1, tpl), Some("clone-template"));
+    // The fan-out stops at the family boundary: a bystander guest gains
+    // no visibility into the clones, nor they into it.
+    assert!(!s.clone_linked(c1, bystander));
+    assert!(!s.can_see(c1, bystander));
+    assert!(!s.can_see(bystander, c1));
+    assert_eq!(s.sharing_justification(c2, bystander), None);
+    assert!(
+        h.divergence().is_none(),
+        "spec diverged:\n{}",
+        h.report().unwrap_or_default()
+    );
+}
