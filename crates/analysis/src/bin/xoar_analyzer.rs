@@ -148,23 +148,24 @@ fn run_spec_selftest() -> ExitCode {
 /// sub-call inside a Multicall batch. Success means the analyzer (and
 /// the hypercall gate it audits) detects what it claims to detect.
 fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
-    let netback = snap
+    let fabric = snap
         .live_domains()
-        .find(|d| d.kind == "netback")
+        .find(|d| d.kind == "fabric")
         .map(|d| d.id);
     let guest = snap
         .live_domains()
         .find(|d| d.kind == "guest")
         .map(|d| d.id);
-    let (Some(netback), Some(guest)) = (netback, guest) else {
-        eprintln!("xoar-analyzer: selftest: scenario lacks a netback or guest");
+    let (Some(fabric), Some(guest)) = (fabric, guest) else {
+        eprintln!("xoar-analyzer: selftest: scenario lacks a fabric shard or guest");
         return ExitCode::from(2);
     };
 
-    // Injection 1: grant the NetBack the Builder's blanket privilege.
+    // Injection 1: grant the fabric-hosting NetBack the Builder's
+    // blanket privilege — an over-privileged switching plane.
     snap.domains
-        .get_mut(&netback)
-        .expect("netback present")
+        .get_mut(&fabric)
+        .expect("fabric present")
         .privileges
         .map_foreign_any = true;
     // Injection 2: an undeclared grant from a guest to a shard it never
@@ -284,6 +285,17 @@ fn run_selftest(platform: &mut Platform, mut snap: ModelSnapshot) -> ExitCode {
             eprintln!("selftest: FAIL — {expected} did not fire");
             ok = false;
         }
+    }
+    // The over-privileged switching plane must surface under its own
+    // label: the grant-only rule naming the fabric shard specifically.
+    let fabric_grant_only = violations
+        .iter()
+        .any(|v| v.rule == "backend-grant-only" && v.detail.starts_with("fabric "));
+    if fabric_grant_only {
+        println!("selftest: over-privileged fabric shard caught by backend-grant-only");
+    } else {
+        eprintln!("selftest: FAIL — over-privileged fabric shard not flagged");
+        ok = false;
     }
     let raw_alias_fired = violations
         .iter()

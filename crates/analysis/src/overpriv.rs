@@ -88,6 +88,16 @@ pub fn traced_scenario() -> HvResult<Platform> {
         .map_err(|e| HvError::InvalidArgument(format!("blk: {e:?}")))?;
     p.process_blkbacks();
 
+    // Virtual network fabric: the NetBack terminates into the software
+    // switch, and a flow nobody opened conn-tracks to the uplink with a
+    // held NAT port. Switching adds no privilege — the fabric shard's
+    // only memory reach stays the frontends' ring grants, which the
+    // audit checks under its own `fabric` label.
+    p.enable_fabric();
+    p.net_transmit(pv, 2, 1500)
+        .map_err(|e| HvError::InvalidArgument(format!("fabric: {e:?}")))?;
+    p.process_netbacks();
+
     // Snapshot-fork lifecycle: seal a golden template and stamp one
     // clone from it (`DomctlCloneDomain`, the toolstack's fast-create
     // whitelist entry). Both stay alive so the analyzer sees the

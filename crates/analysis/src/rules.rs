@@ -77,7 +77,10 @@ pub fn check(snap: &ModelSnapshot, reach: &Reachability) -> Vec<Violation> {
 }
 
 fn is_backend(kind: &str) -> bool {
-    kind == "netback" || kind == "blkback"
+    // The fabric is a NetBack hosting the virtual switch: switching
+    // frames between guests grants it no extra reach, so it is held to
+    // the same grant-only envelope as any backend.
+    kind == "netback" || kind == "blkback" || kind == "fabric"
 }
 
 fn is_service_endpoint(kind: &str) -> bool {
@@ -402,6 +405,21 @@ mod tests {
         let rules: Vec<&str> = v.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"only-builder-blanket"), "{v:?}");
         assert!(rules.contains(&"backend-grant-only"), "{v:?}");
+    }
+
+    #[test]
+    fn over_privileged_fabric_shard_is_grant_only() {
+        // The virtual-switch shard is a backend: blanket foreign-memory
+        // reach on it must fire the grant-only rule under its own label.
+        let mut fab = DomainInfo::fixture(DomId(6), "fabric", DomainRole::Shard);
+        fab.privileges.map_foreign_any = true;
+        let snap = known_good().with_domain(fab);
+        let v = run(&snap);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == "backend-grant-only" && x.detail.starts_with("fabric ")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -263,6 +263,12 @@ impl ModelSnapshot {
             "builder"
         } else if Some(id) == s.pciback {
             "pciback"
+        } else if p.fabric.as_ref().is_some_and(|f| f.dom == id) {
+            // The NetBack hosting the virtual network fabric: same
+            // privilege envelope as any backend (grant-only reach), but
+            // labeled distinctly so the rules audit the switching plane
+            // by name.
+            "fabric"
         } else if s.netbacks.contains(&id) {
             "netback"
         } else if s.blkbacks.contains(&id) {

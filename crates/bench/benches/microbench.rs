@@ -360,6 +360,97 @@ fn bench_restart(h: &mut Harness) {
     });
 }
 
+/// The virtual-switch hot paths: connection-table lookup against a
+/// 100k-flow population, a 32-frame switching batch (the per-packet
+/// cost the fabric's O(batch) claim rests on), and NAT port turnover.
+fn bench_fabric(h: &mut Harness) {
+    use xoar_devices::fabric::{Fabric, FlowKey, NatAlloc};
+    use xoar_devices::net::{NetPacket, NetRingHub, WireEndpoint};
+    use xoar_devices::ring::RingId;
+    use xoar_devices::xenbus::{Connection, DeviceKind};
+    use xoar_hypervisor::grant::GrantRef;
+
+    let vif = |guest: u32, gref: u32| Connection {
+        guest: DomId(guest),
+        backend: DomId(2),
+        kind: DeviceKind::Vif,
+        index: 0,
+        ring: RingId {
+            granter: DomId(guest),
+            gref: GrantRef(gref),
+        },
+        front_port: gref + 1,
+        back_port: gref + 1,
+    };
+
+    // Lookup: a fleet-scale connection table. The probed keys rotate
+    // through the whole population, so most probes miss the inline slots
+    // and pay the FastMap spill — the honest steady-state cost.
+    let mut fab = Fabric::new(DomId(2));
+    let mut hub = NetRingHub::new();
+    for i in 0..8u32 {
+        let c = vif(10 + i, i);
+        hub.create(c.ring);
+        fab.attach_port(c);
+    }
+    const POP: u64 = 100_000;
+    let key_of = |f: u64| FlowKey {
+        flow: f,
+        src: DomId(10 + (f % 8) as u32),
+        dst: DomId(10 + ((f + 1) % 8) as u32),
+    };
+    for f in 0..POP {
+        let k = key_of(f);
+        fab.open_flow(k.flow, k.src, k.dst).unwrap();
+    }
+    let mut probe = 0u64;
+    h.bench_function("fabric/flow_lookup", || {
+        let k = key_of(probe % POP);
+        probe = probe.wrapping_add(7919);
+        black_box(fab.lookup(black_box(&k))).unwrap();
+    });
+
+    // Switching: one ring's worth of frames across the four flows of a
+    // batch — all inline-slot hits — delivered guest→guest and drained.
+    let mut fab = Fabric::new(DomId(2));
+    let mut hub = NetRingHub::new();
+    let src = vif(5, 0);
+    let dst = vif(6, 1);
+    for c in [src, dst] {
+        hub.create(c.ring);
+        fab.attach_port(c);
+    }
+    for f in 0..4u64 {
+        fab.open_flow(f, DomId(5), DomId(6)).unwrap();
+    }
+    let mut wire = WireEndpoint::new();
+    let mut seq = 0u64;
+    let mut rx: Vec<NetPacket> = Vec::with_capacity(64);
+    h.bench_function("fabric/switch_batch32", || {
+        let base = seq;
+        seq += 32;
+        fab.enqueue_batch(
+            DomId(5),
+            (0..32u64).map(|i| NetPacket::meta(i % 4, base + i, 1500)),
+        );
+        let stats = fab.switch(&mut hub, &mut wire);
+        debug_assert_eq!(stats.to_guests, 32);
+        let ring = hub.get_mut(dst.ring).unwrap();
+        ring.pop_responses_into(&mut rx);
+        debug_assert_eq!(rx.len(), 32);
+        black_box(rx.len());
+        rx.clear();
+    });
+
+    // NAT turnover: the per-connection open/close cost of the external
+    // port pool (steady state: free-list pop + push, no allocation).
+    let mut nat = NatAlloc::new();
+    h.bench_function("fabric/nat_alloc", || {
+        let p = nat.alloc().unwrap();
+        nat.release(black_box(p));
+    });
+}
+
 fn main() {
     let mut h = Harness::new();
     bench_hypercalls(&mut h);
@@ -368,6 +459,7 @@ fn main() {
     bench_grants(&mut h);
     bench_ring_round_trip(&mut h);
     bench_batched_paths(&mut h);
+    bench_fabric(&mut h);
     bench_memory_pages(&mut h);
     bench_dedup_scale(&mut h);
     bench_xenstore(&mut h);

@@ -22,7 +22,7 @@ use xoar_codec::{parse, Json};
 /// Entries the microbench gate enforces: the per-op and batched
 /// data-path costs the perf argument rests on, plus the microreboot
 /// fast paths.
-const MICRO_HOT_PATHS: [&str; 15] = [
+const MICRO_HOT_PATHS: [&str; 18] = [
     "hypercall/sched_yield",
     "hypercall/dispatch_spec_off",
     "evtchn/send_poll",
@@ -38,6 +38,9 @@ const MICRO_HOT_PATHS: [&str; 15] = [
     "snapshot/cow_snapshot",
     "restart/per_request_logic",
     "restart/plan_execute",
+    "fabric/flow_lookup",
+    "fabric/switch_batch32",
+    "fabric/nat_alloc",
 ];
 
 /// Entries the ablation gate enforces: the Figure 5.1 per-request
@@ -61,8 +64,20 @@ const ABLATION_HOT_PATHS: [&str; 9] = [
 /// pays one untaken branch. The ordering holds the hooked-dispatch-path
 /// median within 5% of the plain dispatch median — if the gate ever
 /// grows real work on the disabled path, this inverts and CI fails.
-const MICRO_ORDERINGS: [(&str, &str, f64); 1] =
-    [("hypercall/dispatch_spec_off", "hypercall/sched_yield", 1.05)];
+///
+/// The fabric rules encode the switch's cost model. A flow lookup is a
+/// hash probe against a 100k-connection table, so it must stay within 2x
+/// of a grant map/unmap pair — if it drifts past that, the connection
+/// table has stopped being a FastMap fast path. One `switch_batch32`
+/// iteration moves 32 frames, and its whole-batch cost must stay under
+/// 32/3 of a single-frame `net/transmit_process` — i.e. the per-frame
+/// switching cost is at most a third of the per-frame backend round
+/// trip, the O(batch) claim in numbers.
+const MICRO_ORDERINGS: [(&str, &str, f64); 3] = [
+    ("hypercall/dispatch_spec_off", "hypercall/sched_yield", 1.05),
+    ("fabric/flow_lookup", "grant/map_unmap", 2.0),
+    ("fabric/switch_batch32", "net/transmit_process", 32.0 / 3.0),
+];
 
 /// Fresh-run self-comparison rules for the ablation set, in the same
 /// form. Baselines drift with the host; a within-run comparison does
@@ -84,12 +99,19 @@ const ABLATION_ORDERINGS: [(&str, &str, f64); 2] = [
     ),
 ];
 
-/// Entries whose p95 tail is bounded relative to their own median.
-const TAIL_PATHS: [&str; 4] = [
+/// Entries whose p95 tail is bounded relative to their own median. The
+/// fabric paths carry the rule for the same reason the restart paths do:
+/// a per-packet allocation on the switch path (the scratch queues exist
+/// to prevent exactly that) shows up as a reallocation spike in the
+/// tail long before it moves the median.
+const TAIL_PATHS: [&str; 7] = [
     "restart/per_request_logic",
     "restart/plan_execute",
     "ablation/restart_paths/slow",
     "ablation/restart_paths/fast",
+    "fabric/flow_lookup",
+    "fabric/switch_batch32",
+    "fabric/nat_alloc",
 ];
 
 /// A fresh median above `baseline * MAX_RATIO` fails the gate. 2x keeps
@@ -443,6 +465,39 @@ mod tests {
         let decayed = vec![entry(clone, 3000.0, 6000.0), entry(create, 220_000.0, 1.0)];
         assert!(!orderings(rules, &good));
         assert!(orderings(rules, &decayed));
+    }
+
+    #[test]
+    fn fabric_ordering_rules_enforce_the_switch_cost_model() {
+        let (lookup, grant, r1) = MICRO_ORDERINGS[1];
+        assert_eq!(r1, 2.0);
+        let (batch, single, r2) = MICRO_ORDERINGS[2];
+        assert!((r2 - 32.0 / 3.0).abs() < 1e-12);
+        let rules = &MICRO_ORDERINGS[1..];
+        let good = vec![
+            entry(lookup, 20.0, 30.0),
+            entry(grant, 70.0, 80.0),
+            entry(batch, 900.0, 1000.0),
+            entry(single, 120.0, 130.0),
+        ];
+        assert!(!orderings(rules, &good));
+        // The lookup drifting past 2x a grant pair fails the gate.
+        let slow_lookup = vec![
+            entry(lookup, 150.0, 160.0),
+            entry(grant, 70.0, 80.0),
+            entry(batch, 900.0, 1000.0),
+            entry(single, 120.0, 130.0),
+        ];
+        assert!(orderings(rules, &slow_lookup));
+        // Per-frame switching above 1/3 of a backend round trip fails:
+        // 32 frames at 1600 ns total is 50 ns/frame > 120/3.
+        let slow_switch = vec![
+            entry(lookup, 20.0, 30.0),
+            entry(grant, 70.0, 80.0),
+            entry(batch, 1600.0, 1700.0),
+            entry(single, 120.0, 130.0),
+        ];
+        assert!(orderings(rules, &slow_switch));
     }
 
     #[test]

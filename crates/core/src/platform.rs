@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use xoar_devices::blk::{BlkFront, BlkRingHub};
 use xoar_devices::console::ConsoleManager;
 use xoar_devices::emu::QemuDeviceModel;
+use xoar_devices::fabric::Fabric;
 use xoar_devices::hw::{DiskModel, NicModel};
 use xoar_devices::net::{NetFront, NetRingHub, WireEndpoint};
 use xoar_devices::pci::{PciBack, PciBus, PciClass};
@@ -183,6 +184,9 @@ pub struct Platform {
     pub blk_hub: BlkRingHub,
     /// The external wire.
     pub wire: WireEndpoint,
+    /// The virtual network fabric, once enabled ([`Platform::enable_fabric`]).
+    /// `None` means NetBacks terminate straight into the wire, as before.
+    pub fabric: Option<Fabric>,
     /// The audit log.
     pub audit: AuditLog,
     /// Per-guest QEMU device models, keyed by guest.
@@ -278,6 +282,7 @@ impl Platform {
             net_hub: NetRingHub::new(),
             blk_hub: BlkRingHub::new(),
             wire: WireEndpoint::new(),
+            fabric: None,
             audit: AuditLog::new(),
             qemus: HashMap::new(),
             xoar_config: None,
@@ -458,6 +463,7 @@ impl Platform {
             net_hub: NetRingHub::new(),
             blk_hub: BlkRingHub::new(),
             wire: WireEndpoint::new(),
+            fabric: None,
             audit: AuditLog::new(),
             qemus: HashMap::new(),
             xoar_config: Some(cfg),
@@ -668,6 +674,7 @@ impl Platform {
             .position(|d| *d == netback)
             .unwrap();
         self.netbacks[nb_idx].attach(net_conn);
+        self.fabric_attach(net_conn);
         self.audit.append(
             now,
             AuditEvent::ShardLinked {
@@ -1203,6 +1210,7 @@ impl Platform {
                 .position(|d| *d == backend)
                 .unwrap();
             self.netbacks[idx].attach(conn);
+            self.fabric_attach(conn);
         }
         self.audit.append(
             now,
@@ -1415,11 +1423,16 @@ impl Platform {
     }
 
     /// Runs one processing pass of every NetBack, returning aggregate
-    /// statistics.
+    /// statistics. With the fabric enabled, backends terminate into the
+    /// switch, a switching pass delivers the batch, and each destination
+    /// backend is notified exactly once through the multicall path.
     pub fn process_netbacks(&mut self) -> xoar_devices::net::NetBackStats {
         let mut agg = xoar_devices::net::NetBackStats::default();
         for nb in &mut self.netbacks {
-            let s = nb.process(&mut self.net_hub, &mut self.wire);
+            let s = match self.fabric.as_mut() {
+                Some(fab) => nb.process_with_fabric(&mut self.net_hub, fab, &mut self.wire),
+                None => nb.process(&mut self.net_hub, &mut self.wire),
+            };
             agg.tx_frames += s.tx_frames;
             agg.tx_bytes += s.tx_bytes;
             agg.rx_frames += s.rx_frames;
@@ -1427,7 +1440,67 @@ impl Platform {
             agg.dropped += s.dropped;
             agg.service_ns += s.service_ns;
         }
+        if let Some(fab) = self.fabric.as_mut() {
+            fab.switch(&mut self.net_hub, &mut self.wire);
+            // One EvtchnSend per destination backend, batched: the
+            // backend signals its frontends' rx work on its own port.
+            for &(backend, port) in fab.notify_targets() {
+                let _ = self.hv.hypercall(
+                    backend,
+                    Hypercall::Multicall {
+                        calls: vec![Hypercall::EvtchnSend { port }],
+                    },
+                );
+            }
+        }
         agg
+    }
+
+    // ================= virtual network fabric =================
+
+    /// Enables the virtual network fabric, hosted by the first NetBack
+    /// shard. Every existing vif attachment becomes a switch port;
+    /// subsequent attaches (guest creation, cloning, renegotiation) are
+    /// added automatically. Idempotent; appends nothing to the audit log
+    /// (the fabric is a data-path reconfiguration inside the NetBack
+    /// shard, not a new trust link).
+    pub fn enable_fabric(&mut self) {
+        if self.fabric.is_some() {
+            return;
+        }
+        let host = self.services.netbacks[0];
+        let mut fab = Fabric::new(host);
+        for nb in &self.netbacks {
+            for conn in nb.conn_iter() {
+                fab.attach_port(*conn);
+            }
+        }
+        self.fabric = Some(fab);
+    }
+
+    /// Adds `conn` as a fabric port, when the fabric is enabled.
+    fn fabric_attach(&mut self, conn: xenbus::Connection) {
+        if let Some(fab) = self.fabric.as_mut() {
+            if conn.kind == DeviceKind::Vif {
+                fab.attach_port(conn);
+            }
+        }
+    }
+
+    /// Opens a fabric connection `flow: src → dst` (see
+    /// [`Fabric::open_flow`]). Returns false when the fabric is disabled
+    /// or NAT ports are exhausted.
+    pub fn fabric_open_flow(&mut self, flow: u64, src: DomId, dst: DomId) -> bool {
+        self.fabric
+            .as_mut()
+            .is_some_and(|f| f.open_flow(flow, src, dst).is_some())
+    }
+
+    /// Closes a fabric connection, releasing its NAT port if any.
+    pub fn fabric_close_flow(&mut self, flow: u64, src: DomId, dst: DomId) -> bool {
+        self.fabric
+            .as_mut()
+            .is_some_and(|f| f.close_flow(flow, src, dst))
     }
 
     /// Runs one processing pass of every BlkBack, returning aggregate
@@ -1534,6 +1607,7 @@ impl Platform {
                     .position(|d| *d == nb)
                     .unwrap();
                 self.netbacks[idx].attach(conn);
+                self.fabric_attach(conn);
                 self.guests.get_mut(&g).expect("listed").netfront = Some(NetFront::new(conn));
             }
             if let Some(bb) = blkback {

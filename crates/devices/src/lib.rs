@@ -10,6 +10,9 @@
 //!   7200 RPM disk, UART) substituting for the paper's testbed silicon;
 //! * [`net`] / [`blk`] — the NetBack/NetFront and BlkBack/BlkFront split
 //!   drivers, including BlkBack's image-store proxy daemon;
+//! * [`fabric`] — the virtual network fabric: a learning switch with a
+//!   per-flow connection table and NAT port allocation, giving guests an
+//!   inter-guest network beside the physical uplink;
 //! * [`console`] — the Console Manager (xenconsoled) virtual console
 //!   service;
 //! * [`pci`] — the PCI bus, configuration space, and PCIBack multiplexer
@@ -23,6 +26,7 @@
 pub mod blk;
 pub mod console;
 pub mod emu;
+pub mod fabric;
 pub mod hw;
 pub mod net;
 pub mod pci;
@@ -33,6 +37,7 @@ pub mod xenbus;
 pub use blk::{BlkBack, BlkFront, BlkRingHub};
 pub use console::ConsoleManager;
 pub use emu::QemuDeviceModel;
+pub use fabric::{Fabric, FlowKey, NatAlloc, SwitchStats};
 pub use hw::{DiskModel, NicModel};
 pub use net::{NetBack, NetFront, NetRingHub, WireEndpoint};
 pub use pci::{PciBack, PciBus};

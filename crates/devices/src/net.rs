@@ -10,12 +10,14 @@
 //! in for the remote host of the wget/Apache experiments and carries the
 //! packets NetBack puts on the wire.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::fabric::Fabric;
 use crate::hw::NicModel;
 use crate::ring::{RingError, RingHub};
 use crate::xenbus::Connection;
 
+use xoar_hypervisor::fasthash::FastMap;
 use xoar_hypervisor::memory::PageRef;
 use xoar_hypervisor::DomId;
 
@@ -124,7 +126,7 @@ pub struct NetBack {
     pub dom: DomId,
     /// The physical NIC.
     pub nic: NicModel,
-    attachments: HashMap<DomId, Connection>,
+    attachments: FastMap<DomId, Connection>,
     lifetime: NetBackStats,
     /// Scratch queue for rx frames that hit backpressure. Persistent so
     /// its capacity survives across passes — the rx requeue path never
@@ -138,7 +140,7 @@ impl NetBack {
         NetBack {
             dom,
             nic,
-            attachments: HashMap::new(),
+            attachments: FastMap::default(),
             lifetime: NetBackStats::default(),
             rx_requeue: VecDeque::new(),
         }
@@ -234,6 +236,61 @@ impl NetBack {
         // frames on the wire and keeps the (empty) deque's capacity as next
         // pass's scratch.
         std::mem::swap(&mut wire.inbound, &mut self.rx_requeue);
+        self.lifetime.tx_frames += stats.tx_frames;
+        self.lifetime.tx_bytes += stats.tx_bytes;
+        self.lifetime.rx_frames += stats.rx_frames;
+        self.lifetime.rx_bytes += stats.rx_bytes;
+        self.lifetime.dropped += stats.dropped;
+        self.lifetime.service_ns += stats.service_ns;
+        stats
+    }
+
+    /// One processing pass terminating into the virtual fabric instead
+    /// of the physical wire: guest tx frames enter the switch's ingress
+    /// queue (the switch decides guest/uplink per flow), and — on the
+    /// backend hosting the fabric — external frames leave the wire for
+    /// the switch's uplink port. Tx validation, completions, and NIC
+    /// accounting are identical to [`NetBack::process`]; the caller runs
+    /// [`Fabric::switch`] after all backends have passed.
+    pub fn process_with_fabric(
+        &mut self,
+        hub: &mut NetRingHub,
+        fabric: &mut Fabric,
+        wire: &mut WireEndpoint,
+    ) -> NetBackStats {
+        let mut stats = NetBackStats::default();
+        // TX: guest → fabric ingress.
+        for conn in self.attachments.values() {
+            let ring = match hub.get_mut(conn.ring) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            while let Some(pkt) = ring.pop_request() {
+                if pkt.bytes > MAX_GSO_BYTES {
+                    stats.dropped += 1;
+                    let _ = ring.push_response(NetPacket::meta(pkt.flow, pkt.seq, 0));
+                    continue;
+                }
+                stats.service_ns += self.nic.tx_time_ns(pkt.bytes);
+                self.nic.record_tx(pkt.bytes);
+                stats.tx_frames += 1;
+                stats.tx_bytes += pkt.bytes as u64;
+                let ack = NetPacket::meta(pkt.flow, pkt.seq, pkt.bytes);
+                fabric.enqueue(conn.guest, pkt);
+                let _ = ring.push_response(ack);
+            }
+        }
+        // RX: wire → uplink port. Only the backend hosting the fabric
+        // drains the wire, so external frames enter the switch once.
+        if fabric.dom == self.dom {
+            while let Some((guest, pkt)) = wire.inbound.pop_front() {
+                stats.service_ns += self.nic.tx_time_ns(pkt.bytes);
+                self.nic.record_rx(pkt.bytes);
+                stats.rx_frames += 1;
+                stats.rx_bytes += pkt.bytes as u64;
+                fabric.enqueue_from_uplink(guest, pkt);
+            }
+        }
         self.lifetime.tx_frames += stats.tx_frames;
         self.lifetime.tx_bytes += stats.tx_bytes;
         self.lifetime.rx_frames += stats.rx_frames;

@@ -16,9 +16,9 @@
 //! or malformed data to be injected via this vector." The model therefore
 //! performs no validation here; backends validate.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use xoar_hypervisor::fasthash::FastMap;
 use xoar_hypervisor::grant::GrantRef;
 use xoar_hypervisor::DomId;
 
@@ -132,6 +132,16 @@ impl<Req, Resp> Ring<Req, Resp> {
         self.responses.pop_front()
     }
 
+    /// Frontend: pop every queued response into `out` in one sweep,
+    /// returning how many were appended — the rx mirror of
+    /// [`Self::pop_requests_into`], for frontends draining a switched
+    /// burst without a pop call per frame.
+    pub fn pop_responses_into(&mut self, out: &mut Vec<Resp>) -> usize {
+        let n = self.responses.len();
+        out.extend(self.responses.drain(..));
+        n
+    }
+
     /// Frontend: push a whole batch of requests, or none of them.
     ///
     /// Validate-then-apply: if the batch exceeds the free slots the ring
@@ -165,6 +175,23 @@ impl<Req, Resp> Ring<Req, Resp> {
 
     /// Backend: push a batch of responses, releasing their slots.
     pub fn push_responses(&mut self, resps: Vec<Resp>) -> Result<usize, RingError> {
+        if !self.attached {
+            return Err(RingError::Detached);
+        }
+        let n = resps.len();
+        self.in_flight = self.in_flight.saturating_sub(n);
+        self.responses.extend(resps);
+        self.resp_count += n as u64;
+        Ok(n)
+    }
+
+    /// Backend: push a batch of responses from an iterator, releasing
+    /// their slots — the allocation-free mirror of
+    /// [`Self::push_responses`] for callers draining a scratch buffer.
+    pub fn push_responses_iter(
+        &mut self,
+        resps: impl ExactSizeIterator<Item = Resp>,
+    ) -> Result<usize, RingError> {
         if !self.attached {
             return Err(RingError::Detached);
         }
@@ -225,14 +252,14 @@ pub struct RingId {
 /// A registry of shared rings, standing in for shared machine pages.
 #[derive(Debug)]
 pub struct RingHub<Req, Resp> {
-    rings: HashMap<RingId, Ring<Req, Resp>>,
+    rings: FastMap<RingId, Ring<Req, Resp>>,
 }
 
 impl<Req, Resp> RingHub<Req, Resp> {
     /// Creates an empty hub.
     pub fn new() -> Self {
         RingHub {
-            rings: HashMap::new(),
+            rings: FastMap::default(),
         }
     }
 

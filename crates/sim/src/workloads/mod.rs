@@ -7,6 +7,7 @@
 
 pub mod apache;
 pub mod density;
+pub mod fronttier;
 pub mod kernel_build;
 pub mod postmark;
 pub mod restart_sweep;

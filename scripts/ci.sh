@@ -59,6 +59,12 @@ cargo run --release --offline -p xoar-analysis --bin xoar-analyzer -- --spec-sel
 # row stamps a hundred thousand domains.
 cargo test -q --release --offline -p xoar-sim -- --ignored density_sweep_smoke --nocapture
 
+# Front-tier smoke: 100k concurrent fabric flows riding NetBack
+# microreboots at three restart intervals (EXPERIMENTS.md's front-tier
+# table). Asserts every flow recovers through the TCP model and that
+# restart counts agree across engine, hypervisor, and audit log.
+cargo test -q --release --offline -p xoar-sim -- --ignored fronttier_smoke --nocapture
+
 # Style gate, only where a rustfmt toolchain is present.
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
