@@ -180,6 +180,36 @@ impl Group<'_> {
         self.harness.results.push(result);
     }
 
+    /// Runs one benchmark whose routine consumes a per-iteration input
+    /// built by `setup` — only the routine is timed (criterion's
+    /// `iter_batched`). For measuring a destructive operation over a
+    /// prepared structure without charging the preparation: timer
+    /// start/stop brackets each routine call, so keep the routine in
+    /// the microsecond-or-slower range where the bracketing overhead
+    /// (tens of nanoseconds) vanishes.
+    pub fn bench_function_prepared<T>(
+        &mut self,
+        name: &str,
+        setup: impl FnMut() -> T,
+        routine: impl FnMut(T),
+    ) {
+        let samples = self
+            .samples
+            .or(self.harness.samples)
+            .unwrap_or(DEFAULT_SAMPLES);
+        let min_iters = self
+            .min_iterations
+            .or(self.harness.min_iterations)
+            .unwrap_or(1);
+        let full = format!("{}/{name}", self.prefix);
+        let result = run_bench_prepared(&full, samples, min_iters, setup, routine);
+        println!(
+            "bench  {:<44} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples x {} iters)",
+            result.name, result.median_ns, result.p95_ns, result.samples, result.iterations
+        );
+        self.harness.results.push(result);
+    }
+
     /// Ends the group (no-op; kept for call-site symmetry).
     pub fn finish(self) {}
 }
@@ -208,6 +238,58 @@ fn run_bench(name: &str, samples: usize, min_iterations: u64, mut f: impl FnMut(
             f();
         }
         per_iter.push(t.elapsed().as_nanos() as f64 / iterations as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let median = percentile(&per_iter, 50.0);
+    let p95 = percentile(&per_iter, 95.0);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    BenchResult {
+        name: name.to_string(),
+        iterations,
+        samples,
+        median_ns: median,
+        p95_ns: p95,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().expect("samples >= 1"),
+    }
+}
+
+fn run_bench_prepared<T>(
+    name: &str,
+    samples: usize,
+    min_iterations: u64,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T),
+) -> BenchResult {
+    // Calibrate the batch size on the full setup+routine wall clock —
+    // that is what bounds a sample's real duration — even though only
+    // the routine lands in the timed window.
+    let once = {
+        let t = Instant::now();
+        routine(setup());
+        t.elapsed().as_nanos().max(1)
+    };
+    let iterations = ((TARGET_SAMPLE_NS / once).max(1) as u64)
+        .max(min_iterations)
+        .min(MAX_BATCH);
+
+    // Warm up for one full batch.
+    for _ in 0..iterations {
+        routine(setup());
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut timed: u128 = 0;
+        for _ in 0..iterations {
+            let input = setup();
+            let t = Instant::now();
+            routine(input);
+            timed += t.elapsed().as_nanos();
+        }
+        per_iter.push(timed as f64 / iterations as f64);
     }
     per_iter.sort_by(|a, b| a.total_cmp(b));
 
@@ -287,6 +369,36 @@ mod tests {
         });
         g.finish();
         assert!(h.results()[0].iterations >= 5);
+    }
+
+    #[test]
+    fn prepared_bench_excludes_setup_from_timing() {
+        // Setup sleeps ~2 ms per iteration; the routine is near-free.
+        // If setup leaked into the timed window the per-iteration
+        // median would be ≥2,000,000 ns.
+        let mut h = Harness::new();
+        let mut g = h.group("mem");
+        g.sample_size(3);
+        let mut consumed = 0u64;
+        g.bench_function_prepared(
+            "prepared",
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                7u64
+            },
+            |v| {
+                consumed = consumed.wrapping_add(std::hint::black_box(v));
+            },
+        );
+        g.finish();
+        assert!(consumed > 0, "the routine really ran");
+        let r = &h.results()[0];
+        assert_eq!(r.name, "mem/prepared");
+        assert!(
+            r.median_ns < 1_000_000.0,
+            "setup leaked into the timed window: {} ns/iter",
+            r.median_ns
+        );
     }
 
     #[test]

@@ -12,9 +12,8 @@
 //! login prompt 1.5× faster (Table 6.2); the boot model in `xoar-core`
 //! consumes [`ConsoleManager::SKIPS_PCI_ENUMERATION`].
 
-use std::collections::HashMap;
-
 use xoar_hypervisor::event::VirqKind;
+use xoar_hypervisor::fasthash::FastMap;
 use xoar_hypervisor::{DomId, Hypervisor};
 
 use crate::hw::SerialModel;
@@ -33,7 +32,7 @@ pub struct ConsoleManager {
     pub dom: DomId,
     /// The physical serial port (owned by Xen; shared with this shard).
     pub serial: SerialModel,
-    consoles: HashMap<DomId, VirtualConsole>,
+    consoles: FastMap<DomId, VirtualConsole>,
     /// Bytes relayed to the physical serial console.
     physical_bytes: u64,
 }
@@ -48,7 +47,7 @@ impl ConsoleManager {
         ConsoleManager {
             dom,
             serial: SerialModel::com1(),
-            consoles: HashMap::new(),
+            consoles: FastMap::default(),
             physical_bytes: 0,
         }
     }

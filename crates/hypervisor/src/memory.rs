@@ -33,11 +33,22 @@
 //!    a frame's mappers is the same dense-array access that reaches the
 //!    frame itself (no side hash table; the snapshot-fork stamp path
 //!    allocates frames at full batch speed).
-//! 3. **Content-hash index.** Every non-empty frame body is FNV-1a
-//!    hashed on write and indexed `hash -> mfns`; [`MemoryManager::share_identical`]
-//!    groups by hash and confirms with byte equality — one pass, zero
-//!    page clones. The opt-in [`MemoryManager::set_dedup_on_write`] mode
-//!    merges at write time using the same index.
+//! 3. **Lazy content hashing (dirty-epoch).** Every non-empty frame
+//!    body carries an FNV-1a hash indexed `hash -> mfns`, but the hash
+//!    is *not* recomputed on the write path: a write stores the body,
+//!    marks the hash stale, and pushes the frame onto a rehash queue.
+//!    [`MemoryManager::materialize_hashes`] drains the queue in one
+//!    ascending-MFN sweep at the points that consume hashes — dedup
+//!    ([`MemoryManager::share_identical`], dedup-on-write), template
+//!    seal, snapshot freeze, and [`MemoryManager::verify_integrity`] —
+//!    bumping a generation counter per pass. Tiny bodies (≤
+//!    [`INLINE_HASH_MAX`] bytes: ring slots, control records) hash
+//!    inline, where deferral would cost more than the hash; the
+//!    canonical zero page ([`PageRef::zero_page`]) and the empty page
+//!    carry precomputed constant hashes ([`ZERO_PAGE_HASH`],
+//!    [`EMPTY_HASH`]), so the dominant page bodies at density scale are
+//!    never hashed at all. `share_identical` confirms hash groups with
+//!    byte equality over a sharded sweep of the dense frame table.
 //! 4. **Dirty bitmap + frozen baselines.** Dirty-page candidates live in
 //!    a two-level bitmap per domain (the event-channel `PendingBitmap`
 //!    construction applied to PFNs), so [`MemoryManager::take_dirty`]
@@ -93,13 +104,50 @@ impl fmt::Display for Pfn {
 }
 
 /// 64-bit FNV-1a content hash of a page body (in-tree, no dependencies).
-pub fn content_hash(data: &[u8]) -> u64 {
+///
+/// `const` so the hashes of the two canonical bodies ([`EMPTY_HASH`],
+/// [`ZERO_PAGE_HASH`]) are compile-time constants — a zero-fill write
+/// never runs this loop at all.
+pub const fn content_hash(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
+    let mut i = 0;
+    while i < data.len() {
+        h ^= data[i] as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
     }
     h
+}
+
+/// Content hash of the empty (never-written, logically zero) page body.
+pub const EMPTY_HASH: u64 = content_hash(&[]);
+
+/// Content hash of the canonical all-zero page ([`PageRef::zero_page`]).
+pub const ZERO_PAGE_HASH: u64 = content_hash(&[0u8; PAGE_SIZE]);
+
+/// Bodies at most this long are hashed inline on the write path (ring
+/// slots, blk sectors, control records): the FNV loop over a few dozen
+/// bytes is cheaper than a rehash-queue round trip, and keeping tiny
+/// control writes out of the queue keeps the materialization sweep
+/// proportional to bulk data written.
+pub const INLINE_HASH_MAX: usize = 64;
+
+/// Shard count (power of two) for the dedup sweep: candidate
+/// Cap on dedup shard-count bits. The sweep partitions `(hash, mfn)`
+/// pairs by their top hash bits via a counting-sort pass, sizing the
+/// shard count to roughly one-eighth of the candidate count (up to
+/// `2^DEDUP_SHARD_BITS`), so each per-shard sort touches a handful of
+/// candidates even at 50k-frame fleet scale while a small fleet pays
+/// for only a small counting table. The result is deterministic
+/// because the shards partition the hash space (a hash group never
+/// straddles shards).
+const DEDUP_SHARD_BITS: u32 = 16;
+
+/// Whether `data` is entirely zero bytes (u64-chunked, early-exit — a
+/// body with any early non-zero byte bails in the first few chunks).
+fn is_all_zero(data: &[u8]) -> bool {
+    let (chunks, tail) = data.as_chunks::<8>();
+    chunks.iter().all(|c| u64::from_ne_bytes(*c) == 0) && tail.iter().all(|&b| b == 0)
 }
 
 /// A cheap, shared handle to an immutable page body.
@@ -128,6 +176,28 @@ impl PageRef {
             static EMPTY: PageRef = PageRef(Rc::from(&[][..]));
         }
         EMPTY.with(|p| p.clone())
+    }
+
+    /// The canonical all-zero page: 4 KiB of zero bytes behind one
+    /// per-thread allocation, carrying the precomputed
+    /// [`ZERO_PAGE_HASH`].
+    ///
+    /// Zero-filled frames are the dominant page body at density scale
+    /// (guests zero pages long before they fill them), so a zero-fill
+    /// write costs a refcount bump instead of a 4 KiB hash + copy. The
+    /// canonical page is byte-equal to any freshly-built zero body, so
+    /// the interning is unobservable to readers and dedup.
+    pub fn zero_page() -> Self {
+        thread_local! {
+            static ZERO: PageRef = PageRef(Rc::from(&[0u8; PAGE_SIZE][..]));
+        }
+        ZERO.with(|p| p.clone())
+    }
+
+    /// Whether this handle is the canonical zero page (identity, not a
+    /// byte scan).
+    pub fn is_canonical_zero(&self) -> bool {
+        PageRef::ptr_eq(self, &PageRef::zero_page())
     }
 
     /// Borrows the page bytes.
@@ -288,6 +358,29 @@ impl RefList {
         }
     }
 
+    /// Appends every entry of `extra`, spilling to the heap at most
+    /// once (a bulk dedup merge would otherwise pay one spill plus a
+    /// growth reallocation per moved mapper).
+    fn extend_from(&mut self, extra: &[(DomId, u64)]) {
+        match self {
+            RefList::Inline { len, slots } => {
+                let n = *len as usize;
+                if n + extra.len() <= RMAP_INLINE {
+                    for (i, &e) in extra.iter().enumerate() {
+                        slots[n + i] = e;
+                    }
+                    *len += extra.len() as u8;
+                } else {
+                    let mut v = Vec::with_capacity(n + extra.len());
+                    v.extend_from_slice(&slots[..n]);
+                    v.extend_from_slice(extra);
+                    *self = RefList::Heap(v);
+                }
+            }
+            RefList::Heap(v) => v.extend_from_slice(extra),
+        }
+    }
+
     /// Removes the first occurrence of `(dom, pfn)`, preserving the
     /// order of the remaining entries (deterministic).
     fn remove(&mut self, dom: DomId, pfn: u64) -> bool {
@@ -425,8 +518,13 @@ struct FrameInfo {
     dirty_since_snapshot: bool,
     /// Logical contents (at most one page; empty means zero-filled).
     data: PageRef,
-    /// FNV-1a hash of `data`, maintained on every write.
+    /// FNV-1a hash of `data` — valid only while `hash_ok` is set.
     hash: u64,
+    /// Whether `hash` matches `data` (the dirty-epoch lazy-hash flag).
+    /// A bulk write clears this and queues the frame for the next
+    /// materialization sweep instead of hashing inline; a stale frame
+    /// is never present in the content-hash index.
+    hash_ok: bool,
     /// Reverse index: the `(dom, pfn)` p2m entries referencing this
     /// frame. Living inside the frame slot, the reverse index costs one
     /// dense-array access wherever the old side-table cost a hash probe
@@ -436,11 +534,115 @@ struct FrameInfo {
     refs: RefList,
 }
 
+/// Hole marker in [`P2m::dense`] (never a real MFN — frame numbers are
+/// allocated monotonically from a small base and the model never
+/// approaches `u64::MAX`).
+const NO_MFN: u64 = u64::MAX;
+
 /// Per-domain pseudo-physical address space: `Pfn -> Mfn`.
+///
+/// Mappings live in a dense PFN-indexed window plus a spill map for
+/// PFNs beyond it. `populate` and `migrate` hand out PFNs contiguously
+/// from zero, so an ordinary guest's whole address space is the dense
+/// window and a translate is one bounds-checked array load — which is
+/// also what makes the fleet-scale dedup sweep's p2m rewrites array
+/// stores instead of hash-map probes. A fresh clone starts with an
+/// *empty* window and a high `next_pfn` watermark, so its scattered
+/// privatised PFNs land in the spill map (exactly the sparse shape a
+/// dense window would waste memory on). The window grows only by
+/// appending one slot at a time — never by jumping to a far PFN — so a
+/// single outlying mapping can never stretch it thin.
 #[derive(Debug, Clone, Default)]
 struct P2m {
-    map: FastMap<u64, Mfn>,
+    /// Dense window: slot `p` holds the mapping for PFN `p`, or
+    /// [`NO_MFN`] for a hole.
+    dense: Vec<u64>,
+    /// Mappings whose PFN lies at or beyond the window's end.
+    spill: FastMap<u64, Mfn>,
+    /// Live mapping count across both stores.
+    len: usize,
     next_pfn: u64,
+}
+
+impl P2m {
+    /// Number of live mappings.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up the mapping for `pfn`.
+    fn get(&self, pfn: u64) -> Option<Mfn> {
+        match self.dense.get(pfn as usize) {
+            Some(&m) if m != NO_MFN => Some(Mfn(m)),
+            Some(_) => None,
+            None => self.spill.get(&pfn).copied(),
+        }
+    }
+
+    /// Whether `pfn` is mapped.
+    fn contains(&self, pfn: u64) -> bool {
+        self.get(pfn).is_some()
+    }
+
+    /// Inserts or replaces the mapping for `pfn`.
+    fn insert(&mut self, pfn: u64, mfn: Mfn) {
+        let i = pfn as usize;
+        if i < self.dense.len() {
+            if self.dense[i] == NO_MFN {
+                self.len += 1;
+            }
+            self.dense[i] = mfn.0;
+        } else if i == self.dense.len() {
+            // Append growth. The PFN may have spilled before the window
+            // reached it; migrating it here keeps the invariant that
+            // spill keys lie beyond the window's end.
+            if self.spill.is_empty() || self.spill.remove(&pfn).is_none() {
+                self.len += 1;
+            }
+            self.dense.push(mfn.0);
+        } else if self.spill.insert(pfn, mfn).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Removes and returns the mapping for `pfn`.
+    fn remove(&mut self, pfn: u64) -> Option<Mfn> {
+        match self.dense.get_mut(pfn as usize) {
+            Some(m) if *m != NO_MFN => {
+                self.len -= 1;
+                Some(Mfn(std::mem::replace(m, NO_MFN)))
+            }
+            Some(_) => None,
+            None => {
+                let out = self.spill.remove(&pfn);
+                if out.is_some() {
+                    self.len -= 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Iterates over all mappings: the dense window in PFN order, then
+    /// the spill entries in map order.
+    fn entries(&self) -> impl Iterator<Item = (u64, Mfn)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != NO_MFN)
+            .map(|(p, &m)| (p as u64, Mfn(m)))
+            .chain(self.spill.iter().map(|(&p, &m)| (p, m)))
+    }
+
+    /// Consumes the space, yielding all mappings.
+    fn into_entries(self) -> impl Iterator<Item = (u64, Mfn)> {
+        self.dense
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, m)| m != NO_MFN)
+            .map(|(p, m)| (p as u64, Mfn(m)))
+            .chain(self.spill)
+    }
 }
 
 /// Bookkeeping for a sealed clone template (snapshot-fork creation).
@@ -567,6 +769,20 @@ pub struct MemoryManager {
     dedup_on_write: bool,
     /// Cumulative frames freed by the incremental dedup path.
     dedup_write_freed: u64,
+    /// Rehash queue: MFNs whose hash went stale (pushed only on the
+    /// valid→stale transition, so one entry covers any number of
+    /// writes). MFNs are never reused, so entries for freed or
+    /// revalidated frames are simply skipped at drain time.
+    stale_hashes: Vec<u64>,
+    /// Dirty-epoch generation counter: bumped per materialization pass.
+    rehash_epoch: u64,
+    /// Cumulative frames rehashed by materialization passes.
+    rehashed_frames: u64,
+    /// Reused dedup-merge scratch (one bucket's member MFNs): spares
+    /// the fleet-scale sweep an allocation per duplicate group.
+    scratch_bucket: Vec<u64>,
+    /// Reused dedup-merge scratch (one bucket's moved mappers).
+    scratch_moved: Vec<(DomId, u64)>,
 }
 
 impl MemoryManager {
@@ -585,6 +801,11 @@ impl MemoryManager {
             clone_of: FastMap::default(),
             dedup_on_write: false,
             dedup_write_freed: 0,
+            stale_hashes: Vec::new(),
+            rehash_epoch: 0,
+            rehashed_frames: 0,
+            scratch_bucket: Vec::new(),
+            scratch_moved: Vec::new(),
         }
     }
 
@@ -600,7 +821,7 @@ impl MemoryManager {
 
     /// Number of frames owned by `dom`.
     pub fn owned_frames(&self, dom: DomId) -> u64 {
-        self.p2m.get(&dom).map_or(0, |m| m.map.len() as u64)
+        self.p2m.get(&dom).map_or(0, |m| m.len() as u64)
     }
 
     /// Enables or disables incremental dedup-on-write (density mode).
@@ -624,6 +845,110 @@ impl MemoryManager {
     /// incremental dedup-on-write path.
     pub fn dedup_write_freed(&self) -> u64 {
         self.dedup_write_freed
+    }
+
+    /// Number of rehash-queue entries still covering a live, stale
+    /// frame — the pending lazy-hash work. Zero after every
+    /// materialization point (dedup, template seal, snapshot freeze,
+    /// [`Self::verify_integrity`]).
+    pub fn pending_rehash(&self) -> usize {
+        self.stale_hashes
+            .iter()
+            .filter(|&&raw| self.frames.get(raw).is_some_and(|f| !f.hash_ok))
+            .count()
+    }
+
+    /// Dirty-epoch generation counter: bumped once per materialization
+    /// pass that found pending work.
+    pub fn hash_epoch(&self) -> u64 {
+        self.rehash_epoch
+    }
+
+    /// Cumulative number of frames rehashed by materialization passes.
+    pub fn rehashed_frames(&self) -> u64 {
+        self.rehashed_frames
+    }
+
+    /// Drains the rehash queue in one ascending-MFN sweep: every frame
+    /// whose hash a write deferred is rehashed and re-indexed, and the
+    /// dirty epoch advances. Returns the number of frames rehashed.
+    /// O(1) when nothing is pending — the common case at every
+    /// snapshot-freeze call site.
+    pub fn materialize_hashes(&mut self) -> u64 {
+        if self.stale_hashes.is_empty() {
+            return 0;
+        }
+        let mut queue = std::mem::take(&mut self.stale_hashes);
+        queue.sort_unstable();
+        let mut rehashed = 0u64;
+        for raw in queue.drain(..) {
+            // Skip dead entries: freed frames, and frames revalidated
+            // by a later known-hash write. MFNs are never reused, so an
+            // entry can only describe the frame that enqueued it.
+            let (h, nonempty) = match self.frames.get_mut(raw) {
+                Some(f) if !f.hash_ok => {
+                    let h = content_hash(&f.data);
+                    f.hash = h;
+                    f.hash_ok = true;
+                    (h, !f.data.is_empty())
+                }
+                _ => continue,
+            };
+            if nonempty {
+                self.hash_index_add(h, raw);
+            }
+            rehashed += 1;
+        }
+        self.stale_hashes = queue; // keep the allocation for the next epoch
+        self.rehash_epoch += 1;
+        self.rehashed_frames += rehashed;
+        rehashed
+    }
+
+    /// Materializes every pending hash, then folds a deterministic
+    /// fleet-wide digest over `(mfn, hash)` in ascending MFN order: two
+    /// managers holding the same logical memory produce the same digest
+    /// regardless of when their hashes were materialized.
+    pub fn verify_integrity(&mut self) -> u64 {
+        self.materialize_hashes();
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        for (raw, f) in self.frames.iter() {
+            digest ^= raw.rotate_left(17) ^ f.hash;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        digest
+    }
+
+    /// Classifies a write body for the lazy-hash path: canonical bodies
+    /// (empty, all-zero page) intern their shared allocation and
+    /// constant hash, tiny bodies hash inline, and bulk bodies defer
+    /// (`None`) to the next materialization sweep.
+    fn classify_bytes(data: &[u8]) -> (PageRef, Option<u64>) {
+        if data.is_empty() {
+            (PageRef::empty(), Some(EMPTY_HASH))
+        } else if data.len() <= INLINE_HASH_MAX {
+            (PageRef::new(data), Some(content_hash(data)))
+        } else if data.len() == PAGE_SIZE && is_all_zero(data) {
+            (PageRef::zero_page(), Some(ZERO_PAGE_HASH))
+        } else {
+            (PageRef::new(data), None)
+        }
+    }
+
+    /// [`Self::classify_bytes`] for an already-shared page handle
+    /// (rollback restore, ring payload delivery): canonical pages are
+    /// recognised by identity, so re-delivering a zero page or a
+    /// restored pre-image handle never scans bytes.
+    fn classify_page(page: &PageRef) -> Option<u64> {
+        if page.is_empty() {
+            Some(EMPTY_HASH)
+        } else if page.len() <= INLINE_HASH_MAX {
+            Some(content_hash(page))
+        } else if page.is_canonical_zero() {
+            Some(ZERO_PAGE_HASH)
+        } else {
+            None
+        }
     }
 
     fn hash_index_add(&mut self, hash: u64, raw: u64) {
@@ -702,9 +1027,11 @@ impl MemoryManager {
         }
     }
 
-    /// Replaces a frame's body, keeping the content-hash index in sync.
+    /// Replaces a frame's body, keeping the content-hash machinery in
+    /// sync via the lazy dirty-epoch discipline.
     fn set_frame_data(&mut self, mfn: Mfn, page: PageRef) -> HvResult<()> {
-        self.set_frame_data_skip(mfn, page, None)
+        let known = Self::classify_page(&page);
+        self.set_frame_data_classified(mfn, page, known, None)
     }
 
     /// [`Self::set_frame_data`] with frozen-capture suppression for one
@@ -715,23 +1042,58 @@ impl MemoryManager {
         page: PageRef,
         skip: Option<DomId>,
     ) -> HvResult<()> {
+        let known = Self::classify_page(&page);
+        self.set_frame_data_classified(mfn, page, known, skip)
+    }
+
+    /// The frame-body store: installs `page`, with `known` carrying its
+    /// hash if classification produced one. A deferred (`None`) hash
+    /// marks the frame stale and queues it on the valid→stale
+    /// transition; a stale frame is dropped from the hash index until
+    /// the next materialization sweep revalidates it.
+    fn set_frame_data_classified(
+        &mut self,
+        mfn: Mfn,
+        page: PageRef,
+        known: Option<u64>,
+        skip: Option<DomId>,
+    ) -> HvResult<()> {
         // Capture before replacement: the frozen pre-image is the body
         // this store is about to overwrite.
         self.capture_frozen(mfn, skip);
-        let hash = content_hash(&page);
-        let (old_hash, old_nonempty) = {
+        let (old_hash, old_ok, old_nonempty) = {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-            (f.hash, !f.data.is_empty())
+            (f.hash, f.hash_ok, !f.data.is_empty())
         };
-        if old_nonempty {
+        if old_ok && old_nonempty {
             self.hash_index_remove(old_hash, mfn.0);
         }
         let nonempty = !page.is_empty();
-        let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-        f.data = page;
-        f.hash = hash;
-        if nonempty {
-            self.hash_index_add(hash, mfn.0);
+        let mut went_stale = false;
+        {
+            let f = self.frames.get_mut(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
+            f.data = page;
+            match known {
+                Some(h) => {
+                    f.hash = h;
+                    f.hash_ok = true;
+                }
+                None => {
+                    // An already-stale frame is already queued; its
+                    // earlier entry covers this write too.
+                    if f.hash_ok {
+                        f.hash_ok = false;
+                        went_stale = true;
+                    }
+                }
+            }
+        }
+        if let Some(h) = known {
+            if nonempty {
+                self.hash_index_add(h, mfn.0);
+            }
+        } else if went_stale {
+            self.stale_hashes.push(mfn.0);
         }
         Ok(())
     }
@@ -748,7 +1110,7 @@ impl MemoryManager {
         for _ in 0..count {
             let mfn = Mfn(self.next_mfn);
             self.next_mfn += 1;
-            p2m.map.insert(p2m.next_pfn, mfn);
+            p2m.insert(p2m.next_pfn, mfn);
             new_frames.push((mfn, p2m.next_pfn));
             p2m.next_pfn += 1;
         }
@@ -761,7 +1123,8 @@ impl MemoryManager {
                     foreign_mappings: 0,
                     dirty_since_snapshot: false,
                     data: PageRef::empty(),
-                    hash: content_hash(&[]),
+                    hash: EMPTY_HASH,
+                    hash_ok: true,
                     refs: RefList::one(dom, pfn),
                 },
             );
@@ -778,12 +1141,12 @@ impl MemoryManager {
     /// O(1) in the template's size.
     pub fn translate(&self, dom: DomId, pfn: Pfn) -> HvResult<Mfn> {
         if let Some(m) = self.p2m.get(&dom) {
-            if let Some(&mfn) = m.map.get(&pfn.0) {
+            if let Some(mfn) = m.get(pfn.0) {
                 return Ok(mfn);
             }
         }
         if let Some(&tpl) = self.clone_of.get(&dom) {
-            if let Some(&mfn) = self.p2m.get(&tpl).and_then(|m| m.map.get(&pfn.0)) {
+            if let Some(mfn) = self.p2m.get(&tpl).and_then(|m| m.get(pfn.0)) {
                 return Ok(mfn);
             }
         }
@@ -793,9 +1156,7 @@ impl MemoryManager {
     /// Whether (`dom`, `pfn`) resolves through `dom`'s *own* p2m (for a
     /// clone: whether the page has been privatised).
     fn own_mapping(&self, dom: DomId, pfn: Pfn) -> bool {
-        self.p2m
-            .get(&dom)
-            .is_some_and(|m| m.map.contains_key(&pfn.0))
+        self.p2m.get(&dom).is_some_and(|m| m.contains(pfn.0))
     }
 
     /// Returns the owner of a machine frame.
@@ -847,8 +1208,9 @@ impl MemoryManager {
         if self.dedup_on_write && !data.is_empty() && self.try_dedup_write(dom, pfn, data)? {
             return Ok(());
         }
+        let (page, known) = Self::classify_bytes(data);
         let mfn = self.exclusive_mfn(dom, pfn)?;
-        self.set_frame_data(mfn, PageRef::new(data))?;
+        self.set_frame_data_classified(mfn, page, known, None)?;
         self.mark_dirty(mfn);
         Ok(())
     }
@@ -859,6 +1221,12 @@ impl MemoryManager {
     /// this was its last reference. Returns whether the write was
     /// absorbed.
     fn try_dedup_write(&mut self, dom: DomId, pfn: Pfn, data: &[u8]) -> HvResult<bool> {
+        // The candidate probe below consults `by_hash`, which indexes
+        // only materialized hashes; draining the queue here (usually a
+        // no-op in dedup-on-write mode — absorbed writes never go
+        // stale) keeps the incremental path byte-for-byte equivalent to
+        // eager hashing.
+        self.materialize_hashes();
         let cur = self.translate(dom, pfn)?;
         {
             let f = self.frames.get(cur.0).ok_or(MemError::BadMfn(cur.0))?;
@@ -903,7 +1271,7 @@ impl MemoryManager {
         self.rmap_remove(cur.0, dom, pfn.0);
         if self.rmap_len(cur.0) == 0 {
             if let Some(old) = self.frames.remove(cur.0) {
-                if !old.data.is_empty() {
+                if old.hash_ok && !old.data.is_empty() {
                     self.hash_index_remove(old.hash, cur.0);
                 }
                 self.free_count += 1;
@@ -912,7 +1280,7 @@ impl MemoryManager {
         }
         // Attach to the canonical frame.
         if let Some(m) = self.p2m.get_mut(&dom) {
-            m.map.insert(pfn.0, Mfn(canon));
+            m.insert(pfn.0, Mfn(canon));
         }
         let mut canon_dirty = false;
         if let Some(f) = self.frames.get_mut(canon) {
@@ -949,9 +1317,9 @@ impl MemoryManager {
         }
         // Allocate a private copy (of the handle, not the bytes) and
         // remap this domain's PFN to it.
-        let (data, hash) = {
+        let (data, hash, hash_ok) = {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-            (f.data.clone(), f.hash)
+            (f.data.clone(), f.hash, f.hash_ok)
         };
         // The break marks the private frame dirty without changing the
         // bytes; a frozen domain that is never written again must still
@@ -970,15 +1338,20 @@ impl MemoryManager {
                 dirty_since_snapshot: true,
                 data,
                 hash,
+                hash_ok,
                 refs: RefList::one(dom, pfn.0),
             },
         );
-        if nonempty {
+        if hash_ok && nonempty {
             self.hash_index_add(hash, new_mfn.0);
+        } else if !hash_ok {
+            // The private copy inherits the stale flag; queue it so the
+            // next materialization covers the new frame too.
+            self.stale_hashes.push(new_mfn.0);
         }
         self.rmap_remove(mfn.0, dom, pfn.0);
         let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
-        p2m.map.insert(pfn.0, new_mfn);
+        p2m.insert(pfn.0, new_mfn);
         self.dirty.entry(dom).or_default().set(pfn.0);
         Ok(new_mfn)
     }
@@ -994,9 +1367,9 @@ impl MemoryManager {
         if self.free_count == 0 {
             return Err(MemError::OutOfFrames.into());
         }
-        let (data, hash) = {
+        let (data, hash, hash_ok) = {
             let f = self.frames.get(mfn.0).ok_or(MemError::BadMfn(mfn.0))?;
-            (f.data.clone(), f.hash)
+            (f.data.clone(), f.hash, f.hash_ok)
         };
         // If the clone is itself frozen (microreboot snapshot), the
         // template's bytes are the pre-image this break diverges from.
@@ -1014,14 +1387,20 @@ impl MemoryManager {
                 dirty_since_snapshot: true,
                 data,
                 hash,
+                hash_ok,
                 refs: RefList::one(dom, pfn.0),
             },
         );
-        if nonempty {
+        if hash_ok && nonempty {
             self.hash_index_add(hash, new_mfn.0);
+        } else if !hash_ok {
+            // Template frames are materialized at seal time, so this
+            // only fires for exotic re-break interleavings — but the
+            // invariant (stale ⇒ queued) must hold regardless.
+            self.stale_hashes.push(new_mfn.0);
         }
         let p2m = self.p2m.get_mut(&dom).ok_or(MemError::BadPfn(pfn.0))?;
-        p2m.map.insert(pfn.0, new_mfn);
+        p2m.insert(pfn.0, new_mfn);
         self.dirty.entry(dom).or_default().set(pfn.0);
         Ok(new_mfn)
     }
@@ -1055,13 +1434,10 @@ impl MemoryManager {
         for &pfn in pfns {
             // One probe decides hit-or-stamp (the hot path stamps: a
             // fresh clone's own p2m starts empty).
-            let slot = match p2m.map.entry(pfn.0) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    mfns.push(*e.get());
-                    continue;
-                }
-                std::collections::hash_map::Entry::Vacant(v) => v,
-            };
+            if let Some(mfn) = p2m.get(pfn.0) {
+                mfns.push(mfn);
+                continue;
+            }
             if self.free_count == 0 {
                 return Err(MemError::OutOfFrames.into());
             }
@@ -1076,11 +1452,12 @@ impl MemoryManager {
                     foreign_mappings: 0,
                     dirty_since_snapshot: true,
                     data: PageRef::empty(),
-                    hash: content_hash(&[]),
+                    hash: EMPTY_HASH,
+                    hash_ok: true,
                     refs: RefList::one(dom, pfn.0),
                 },
             );
-            slot.insert(new_mfn);
+            p2m.insert(pfn.0, new_mfn);
             dirty.set(pfn.0);
             mfns.push(new_mfn);
         }
@@ -1103,6 +1480,9 @@ impl MemoryManager {
                 "{dom} is a clone and cannot be sealed as a template"
             )));
         }
+        // The freeze is also the template-seal materialization point:
+        // clones dedup and CoW-break against template frames, so every
+        // pending hash is drained before the seal.
         let page_count = self.freeze(dom);
         if page_count == 0 {
             self.discard_frozen(dom);
@@ -1142,8 +1522,8 @@ impl MemoryManager {
         self.p2m.insert(
             clone,
             P2m {
-                map: FastMap::default(),
                 next_pfn: watermark,
+                ..P2m::default()
             },
         );
         self.clone_of.insert(clone, template);
@@ -1178,11 +1558,23 @@ impl MemoryManager {
         let wm = self.templates.get(&tpl).map_or(0, |i| i.watermark);
         self.p2m
             .get(&clone)
-            .map_or(0, |m| m.map.keys().filter(|&&p| p < wm).count() as u64)
+            .map_or(0, |m| m.entries().filter(|&(p, _)| p < wm).count() as u64)
     }
 
     /// Content-based page deduplication across all domains (the
     /// memory-density feature of the paper's introduction [21, 38]).
+    ///
+    /// Pending hashes are materialized first; then **one** sweep of the
+    /// dense frame table collects candidate `(hash, mfn)` pairs, which
+    /// a counting-sort pass partitions into shards by their top hash
+    /// bits, sized so a shard holds a handful of entries (see
+    /// [`DEDUP_SHARD_BITS`]). Each shard is sorted and scanned for
+    /// runs of equal hash independently, so the "sort" is a few
+    /// comparisons over a cache-resident slice rather than an
+    /// O(n log n) pass over the whole fleet. Because the shards
+    /// partition the hash space a group never straddles shards, so the
+    /// result is identical to one global pass (merges of distinct
+    /// groups touch disjoint frames and commute).
     ///
     /// Identical, non-empty, unmapped frames are merged onto one
     /// canonical frame (the lowest MFN of each group, so the result is
@@ -1192,67 +1584,134 @@ impl MemoryManager {
     /// mapper set onto the canonical frame. Returns the number of
     /// frames freed.
     pub fn share_identical(&mut self) -> u64 {
-        // One pass over the content-hash index: no page bodies are
-        // cloned and only frames with a hash twin are considered.
-        let mut groups: Vec<Vec<u64>> = Vec::new();
-        for mfns in self.by_hash.values() {
-            if mfns.len() < 2 {
-                continue;
+        self.materialize_hashes();
+        // One dense sweep collects candidates; no page bodies are
+        // cloned, and no per-hash-bucket heap vectors are walked.
+        let mut cands: Vec<(u64, u64)> = Vec::with_capacity(self.frames.len());
+        for (raw, f) in self.frames.iter() {
+            if f.grant_mappings == 0 && f.foreign_mappings == 0 && !f.data.is_empty() {
+                cands.push((f.hash, raw));
             }
-            let mut cand: Vec<u64> = mfns
-                .iter()
-                .copied()
-                .filter(|&raw| {
-                    self.frames.get(raw).is_some_and(|f| {
-                        f.grant_mappings == 0 && f.foreign_mappings == 0 && !f.data.is_empty()
-                    })
-                })
-                .collect();
-            if cand.len() < 2 {
-                continue;
-            }
-            cand.sort_unstable();
-            groups.push(cand);
         }
-        groups.sort_unstable_by_key(|g| g[0]);
+        let bits = (cands.len() / 8)
+            .next_power_of_two()
+            .trailing_zeros()
+            .clamp(4, DEDUP_SHARD_BITS);
+        let shards = 1usize << bits;
+        let shard_of = |h: u64| (h >> (64 - bits)) as usize;
+        // Counting-sort partition: count per shard, prefix-sum into
+        // cursors, scatter into one flat buffer. Two sequential passes
+        // over `cands` beat re-walking the frame table.
+        let mut counts = vec![0u32; shards + 1];
+        for &(h, _) in &cands {
+            counts[shard_of(h) + 1] += 1;
+        }
+        for s in 1..counts.len() {
+            counts[s] += counts[s - 1];
+        }
+        let mut sorted = vec![(0u64, 0u64); cands.len()];
+        let mut cursors: Vec<u32> = counts[..shards].to_vec();
+        for &(h, raw) in &cands {
+            let c = &mut cursors[shard_of(h)];
+            sorted[*c as usize] = (h, raw);
+            *c += 1;
+        }
+        drop(cands);
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for s in 0..shards {
+            let (lo, hi) = (counts[s] as usize, counts[s + 1] as usize);
+            // Sort by (hash, mfn): equal-hash runs become contiguous
+            // and MFN-ascending, so each run's head is its lowest MFN.
+            sorted[lo..hi].sort_unstable();
+            let mut i = lo;
+            while i < hi {
+                let mut j = i + 1;
+                while j < hi && sorted[j].0 == sorted[i].0 {
+                    j += 1;
+                }
+                if j - i >= 2 {
+                    runs.push((i as u32, j as u32));
+                }
+                i = j;
+            }
+        }
+        // Merge runs in ascending head-MFN order, not hash order:
+        // duplicate groups are typically parallel stripes of a few
+        // address spaces, so ordering by head MFN turns the otherwise
+        // random frame-table accesses into a handful of sequential
+        // streams the hardware prefetcher can track. Merges of
+        // distinct groups touch disjoint frames and commute, so the
+        // order does not affect the result.
+        runs.sort_unstable_by_key(|&(i, _)| sorted[i as usize].1);
         let mut freed = 0u64;
-        for group in groups {
-            // Byte-equality confirm: split the hash group into buckets
-            // of identical content (collisions stay separate). The
-            // group is MFN-sorted, so each bucket head is its minimum.
-            let mut buckets: Vec<Vec<u64>> = Vec::new();
-            for &raw in &group {
-                // Every member survived the candidate filter above, so
-                // both lookups hit; an evicted frame just never matches.
-                let pos = buckets.iter().position(|b| {
-                    match (self.frames.get(b[0]), self.frames.get(raw)) {
-                        (Some(head), Some(cand)) => head.data == cand.data,
-                        _ => false,
-                    }
-                });
-                match pos {
-                    Some(i) => buckets[i].push(raw),
-                    None => buckets.push(vec![raw]),
+        for &(i, j) in &runs {
+            freed += self.merge_hash_run(&sorted[i as usize..j as usize]);
+        }
+        freed
+    }
+
+    /// Byte-equality confirm + merge for one run of equal-hash dedup
+    /// candidates (MFN-ascending): splits the run into buckets of
+    /// identical content (hash collisions stay separate) and merges
+    /// each bucket onto its lowest MFN. Returns frames freed.
+    fn merge_hash_run(&mut self, run: &[(u64, u64)]) -> u64 {
+        // Fast path: every member of the run is byte-identical to the
+        // first (true for all but genuine hash collisions). The bodies
+        // are read once, by reference — no handle clones, no refcount
+        // traffic, no bucket allocation.
+        let uniform = match self.frames.get(run[0].1) {
+            Some(head) => {
+                let body = head.data.as_slice();
+                run[1..].iter().all(|&(_, raw)| {
+                    self.frames
+                        .get(raw)
+                        .is_some_and(|f| f.data.as_slice() == body)
+                })
+            }
+            None => false,
+        };
+        if uniform {
+            let mut bucket = std::mem::take(&mut self.scratch_bucket);
+            bucket.clear();
+            bucket.extend(run.iter().map(|&(_, raw)| raw));
+            let freed = self.merge_bucket(run[0].0, &bucket);
+            self.scratch_bucket = bucket;
+            return freed;
+        }
+        // Collision path: split the run into buckets of identical
+        // content. Merges happen only after bucketing, so no member is
+        // evicted while the run is split.
+        let mut heads: Vec<&[u8]> = Vec::with_capacity(run.len());
+        let mut buckets: Vec<Vec<u64>> = Vec::new();
+        for &(_, raw) in run {
+            let Some(body) = self.frames.get(raw).map(|f| f.data.as_slice()) else {
+                continue;
+            };
+            match heads.iter().position(|&h| h == body) {
+                Some(i) => buckets[i].push(raw),
+                None => {
+                    heads.push(body);
+                    buckets.push(vec![raw]);
                 }
             }
-            for bucket in buckets {
-                let canonical = bucket[0];
-                for &dup in &bucket[1..] {
-                    self.merge_frames(canonical, dup);
-                    freed += 1;
-                }
+        }
+        drop(heads);
+        let mut freed = 0u64;
+        for bucket in buckets {
+            if bucket.len() >= 2 {
+                freed += self.merge_bucket(run[0].0, &bucket);
             }
         }
         freed
     }
 
-    /// Moves every mapper of `dup` onto `canonical` and frees `dup`.
-    fn merge_frames(&mut self, canonical: u64, dup: u64) {
-        let moved = self
-            .frames
-            .get_mut(dup)
-            .map(|f| std::mem::take(&mut f.refs))
-            .unwrap_or_default();
+    /// Moves every mapper of `bucket[1..]` (byte-identical duplicates
+    /// of `bucket[0]`, MFN-ascending) onto `bucket[0]` and frees the
+    /// duplicates. Canonical-frame state, the mapper transfer, and the
+    /// hash-index cleanup are each paid once per bucket, not once per
+    /// duplicate — this is the inner loop of the fleet-scale sweep.
+    fn merge_bucket(&mut self, hash: u64, bucket: &[u64]) -> u64 {
+        let canonical = bucket[0];
         let canon_dirty = self
             .frames
             .get(canonical)
@@ -1265,12 +1724,23 @@ impl MemoryManager {
         } else {
             None
         };
-        for &(d, p) in moved.as_slice() {
-            if let Some(m) = self.p2m.get_mut(&d) {
-                m.map.insert(p, Mfn(canonical));
+        let dups = &bucket[1..];
+        let mut moved = std::mem::take(&mut self.scratch_moved);
+        moved.clear();
+        let mut freed = 0u64;
+        for &dup in dups {
+            // Every dup passed the sweep's candidate filter (alive,
+            // non-empty, materialized hash), so it is hash-indexed and
+            // its removal below is unconditional.
+            if let Some(f) = self.frames.remove(dup) {
+                moved.extend_from_slice(f.refs.as_slice());
+                self.free_count += 1;
+                freed += 1;
             }
-            if let Some(f) = self.frames.get_mut(canonical) {
-                f.refs.push(d, p);
+        }
+        for &(d, p) in &moved {
+            if let Some(m) = self.p2m.get_mut(&d) {
+                m.insert(p, Mfn(canonical));
             }
             if canon_dirty {
                 self.dirty.entry(d).or_default().set(p);
@@ -1279,12 +1749,15 @@ impl MemoryManager {
                 }
             }
         }
-        if let Some(f) = self.frames.remove(dup) {
-            if !f.data.is_empty() {
-                self.hash_index_remove(f.hash, dup);
-            }
-            self.free_count += 1;
+        if let Some(f) = self.frames.get_mut(canonical) {
+            f.refs.extend_from(&moved);
         }
+        // One hash-index pass drops every freed duplicate of this hash.
+        if let Some(v) = self.by_hash.get_mut(&hash) {
+            v.retain(|raw| !dups.contains(raw));
+        }
+        self.scratch_moved = moved;
+        freed
     }
 
     /// Number of frames currently shared by more than one mapping.
@@ -1325,7 +1798,7 @@ impl MemoryManager {
             let Some(p2m) = self.p2m.get(&tpl) else {
                 continue;
             };
-            for (&pfn, &mfn) in &p2m.map {
+            for (pfn, mfn) in p2m.entries() {
                 let entry = by_mfn.entry(mfn.0).or_insert_with(|| vec![tpl]);
                 for &c in &clones {
                     if !self.own_mapping(c, Pfn(pfn)) {
@@ -1368,12 +1841,12 @@ impl MemoryManager {
         }
         // Detach from the source space.
         let src = self.p2m.get_mut(&from).ok_or(MemError::BadPfn(pfn.0))?;
-        src.map.remove(&pfn.0);
+        src.remove(pfn.0);
         self.rmap_remove(mfn.0, from, pfn.0);
         // Attach to the destination space.
         let dst = self.p2m.entry(to).or_default();
         let new_pfn = Pfn(dst.next_pfn);
-        dst.map.insert(dst.next_pfn, mfn);
+        dst.insert(dst.next_pfn, mfn);
         dst.next_pfn += 1;
         if let Some(f) = self.frames.get_mut(mfn.0) {
             f.owner = to;
@@ -1468,7 +1941,7 @@ impl MemoryManager {
         self.dirty.remove(&dom);
         self.frozen.remove(&dom);
         let mut freed = 0;
-        for (pfn, mfn) in p2m.map {
+        for (pfn, mfn) in p2m.into_entries() {
             self.rmap_remove(mfn.0, dom, pfn);
             if self.rmap_len(mfn.0) > 0 {
                 // A deduplicated frame survives; only this mapping goes
@@ -1481,7 +1954,7 @@ impl MemoryManager {
                 .is_some_and(|f| f.grant_mappings == 0 && f.foreign_mappings == 0);
             if unmapped {
                 if let Some(f) = self.frames.remove(mfn.0) {
-                    if !f.data.is_empty() {
+                    if f.hash_ok && !f.data.is_empty() {
                         self.hash_index_remove(f.hash, mfn.0);
                     }
                     freed += 1;
@@ -1521,7 +1994,7 @@ impl MemoryManager {
                     word &= word - 1;
                     // Stale candidate: the PFN was remapped away or its
                     // frame went clean under it.
-                    let Some(&mfn) = p2m.map.get(&pfn) else {
+                    let Some(mfn) = p2m.get(pfn) else {
                         continue;
                     };
                     let Some(f) = self.frames.get_mut(mfn.0) else {
@@ -1550,10 +2023,14 @@ impl MemoryManager {
     /// independent of how many pages the domain owns or how clean they
     /// are. Freezing an already-frozen domain replaces the snapshot.
     pub fn freeze(&mut self, dom: DomId) -> u64 {
+        // Snapshot seal: materialize pending hashes so every frame the
+        // frozen image can reach carries a valid content hash. O(1)
+        // when nothing is pending — the common microreboot case.
+        self.materialize_hashes();
         let (mut count, watermark) = self
             .p2m
             .get(&dom)
-            .map_or((0, 0), |m| (m.map.len() as u64, m.next_pfn));
+            .map_or((0, 0), |m| (m.len() as u64, m.next_pfn));
         // A clone also sees every template page it has not privatised:
         // those are snapshot-covered too (a post-freeze CoW break
         // captures the template body as the pre-image).
@@ -1641,7 +2118,7 @@ impl MemoryManager {
         let Some(p2m) = self.p2m.get(&dom) else {
             return Vec::new();
         };
-        let mut v: Vec<(Pfn, Mfn)> = p2m.map.iter().map(|(&p, &m)| (Pfn(p), m)).collect();
+        let mut v: Vec<(Pfn, Mfn)> = p2m.entries().map(|(p, m)| (Pfn(p), m)).collect();
         v.sort_by_key(|(p, _)| p.0);
         v
     }
@@ -1664,7 +2141,7 @@ impl MemoryManager {
         // Shadow reverse index recomputed naively from the p2m tables.
         let mut shadow: HashMap<u64, Vec<(DomId, u64)>> = HashMap::new();
         for (&dom, p2m) in &self.p2m {
-            for (&pfn, &mfn) in &p2m.map {
+            for (pfn, mfn) in p2m.entries() {
                 if !self.frames.contains(mfn.0) {
                     return Err(format!("{dom} pfn {pfn} maps missing mfn {:#x}", mfn.0));
                 }
@@ -1685,20 +2162,27 @@ impl MemoryManager {
         if let Some((&raw, _)) = shadow.iter().next() {
             return Err(format!("shadow maps missing frame mfn {raw:#x}"));
         }
-        // Content-hash index.
+        // Content-hash machinery under the lazy dirty-epoch discipline:
+        // a materialized hash matches the bytes and is indexed iff the
+        // frame is non-empty; a stale frame is never indexed and must
+        // be covered by a rehash-queue entry.
         for (raw, f) in self.frames.iter() {
-            if f.hash != content_hash(&f.data) {
-                return Err(format!("stale hash for mfn {raw:#x}"));
-            }
-            let indexed = self
-                .by_hash
-                .get(&f.hash)
-                .map_or(0, |v| v.iter().filter(|&&m| m == raw).count());
-            let expect = usize::from(!f.data.is_empty());
-            if indexed != expect {
-                return Err(format!(
-                    "mfn {raw:#x} appears {indexed} times in hash index, expected {expect}"
-                ));
+            if f.hash_ok {
+                if f.hash != content_hash(&f.data) {
+                    return Err(format!("wrong materialized hash for mfn {raw:#x}"));
+                }
+                let indexed = self
+                    .by_hash
+                    .get(&f.hash)
+                    .map_or(0, |v| v.iter().filter(|&&m| m == raw).count());
+                let expect = usize::from(!f.data.is_empty());
+                if indexed != expect {
+                    return Err(format!(
+                        "mfn {raw:#x} appears {indexed} times in hash index, expected {expect}"
+                    ));
+                }
+            } else if !self.stale_hashes.contains(&raw) {
+                return Err(format!("stale mfn {raw:#x} missing from the rehash queue"));
             }
         }
         for (&h, v) in &self.by_hash {
@@ -1706,7 +2190,7 @@ impl MemoryManager {
                 let ok = self
                     .frames
                     .get(raw)
-                    .is_some_and(|f| f.hash == h && !f.data.is_empty());
+                    .is_some_and(|f| f.hash_ok && f.hash == h && !f.data.is_empty());
                 if !ok {
                     return Err(format!("hash index lists stale mfn {raw:#x}"));
                 }
@@ -1714,7 +2198,7 @@ impl MemoryManager {
         }
         // Dirty candidates are a superset of actually-dirty mappings.
         for (&dom, p2m) in &self.p2m {
-            for (&pfn, &mfn) in &p2m.map {
+            for (pfn, mfn) in p2m.entries() {
                 let is_dirty = self
                     .frames
                     .get(mfn.0)
@@ -2278,10 +2762,15 @@ mod sharing_proptests {
                 let dom = doms[who as usize % doms.len()];
                 match op {
                     // Write one of a few contents (guaranteeing cross-
-                    // domain duplicates for the dedup paths).
+                    // domain duplicates for the dedup paths). Lengths
+                    // straddle the inline-hash threshold, and val 0 at
+                    // full page length is the canonical zero page — so
+                    // the interleaving exercises inline, deferred, and
+                    // constant-hash classification.
                     0..=49 => {
                         if shadow.contains_key(&(dom, pfn)) {
-                            let body = vec![val; 6];
+                            let len = [6usize, 200, PAGE_SIZE][val as usize % 3];
+                            let body = vec![val; len];
                             m.write(dom, Pfn(pfn), &body).unwrap();
                             shadow.insert((dom, pfn), body);
                         }
@@ -2304,11 +2793,12 @@ mod sharing_proptests {
                         }
                     }
                     // Rollback-style: drain dirty pages and rewrite one
-                    // of them by MFN.
+                    // of them by MFN (a bulk body, so the mfn write
+                    // path defers its hash).
                     75..=84 => {
                         let dirty = m.take_dirty(dom);
                         if let Some(&(dpfn, mfn)) = dirty.first() {
-                            let body = vec![val ^ 0x5a; 4];
+                            let body = vec![val ^ 0x5a; 120];
                             m.write_mfn(mfn, &body).unwrap();
                             // write_mfn edits the frame in place: every
                             // mapper of that MFN sees the new bytes.
@@ -2343,6 +2833,150 @@ mod sharing_proptests {
                 assert_eq!(m.read(dom, Pfn(pfn)).unwrap(), *body);
             }
         });
+    }
+}
+
+#[cfg(test)]
+mod lazy_hash_tests {
+    use super::*;
+
+    #[test]
+    fn bulk_write_defers_hash_until_materialization() {
+        let mut m = MemoryManager::new(64);
+        let d = DomId(1);
+        m.populate(d, 2).unwrap();
+        m.write(d, Pfn(0), &[0x5a; 512]).unwrap();
+        assert_eq!(m.pending_rehash(), 1, "bulk write queued, not hashed");
+        let epoch = m.hash_epoch();
+        assert_eq!(m.materialize_hashes(), 1);
+        assert_eq!(m.pending_rehash(), 0);
+        assert_eq!(m.hash_epoch(), epoch + 1);
+        assert_eq!(m.rehashed_frames(), 1);
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn small_writes_hash_inline() {
+        let mut m = MemoryManager::new(64);
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        m.write(d, Pfn(0), b"ring-slot").unwrap();
+        assert_eq!(m.pending_rehash(), 0, "tiny bodies never hit the queue");
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn zero_page_write_is_canonical_and_unhashed() {
+        let mut m = MemoryManager::new(64);
+        let d = DomId(1);
+        m.populate(d, 2).unwrap();
+        m.write(d, Pfn(0), &[0u8; PAGE_SIZE]).unwrap();
+        m.write(d, Pfn(1), &[0u8; PAGE_SIZE]).unwrap();
+        assert_eq!(m.pending_rehash(), 0, "zero pages carry a constant hash");
+        let a = m.read(d, Pfn(0)).unwrap();
+        let b = m.read(d, Pfn(1)).unwrap();
+        assert!(
+            PageRef::ptr_eq(&a, &b),
+            "both frames share the canonical zero page"
+        );
+        assert!(a.is_canonical_zero());
+        assert_eq!(a, [0u8; PAGE_SIZE], "byte-equal to a plain zero body");
+        assert_eq!(ZERO_PAGE_HASH, content_hash(&[0u8; PAGE_SIZE]));
+        // Zero frames hold real content: they are dedup candidates.
+        assert_eq!(m.share_identical(), 1);
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn repeated_bulk_writes_queue_once() {
+        let mut m = MemoryManager::new(64);
+        let d = DomId(1);
+        m.populate(d, 1).unwrap();
+        for i in 0..10u8 {
+            m.write(d, Pfn(0), &vec![i + 1; 256]).unwrap();
+        }
+        assert_eq!(
+            m.stale_hashes.len(),
+            1,
+            "only the valid→stale transition queues"
+        );
+        assert_eq!(m.materialize_hashes(), 1);
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dedup_materializes_stale_twins() {
+        let mut m = MemoryManager::new(64);
+        let (a, b) = (DomId(1), DomId(2));
+        m.populate(a, 1).unwrap();
+        m.populate(b, 1).unwrap();
+        let body = vec![7u8; 1000];
+        m.write(a, Pfn(0), &body).unwrap();
+        m.write(b, Pfn(0), &body).unwrap();
+        assert_eq!(m.pending_rehash(), 2);
+        assert_eq!(
+            m.share_identical(),
+            1,
+            "stale twins materialized and merged"
+        );
+        assert_eq!(m.pending_rehash(), 0);
+        m.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cow_break_of_stale_frame_propagates_staleness() {
+        let mut m = MemoryManager::new(64);
+        let (a, b) = (DomId(1), DomId(2));
+        m.populate(a, 1).unwrap();
+        m.populate(b, 1).unwrap();
+        let body = vec![9u8; 700];
+        m.write(a, Pfn(0), &body).unwrap();
+        m.write(b, Pfn(0), &body).unwrap();
+        m.share_identical();
+        // Dirty the shared frame in place via the mfn path, then break.
+        let mfn = m.translate(a, Pfn(0)).unwrap();
+        m.write_mfn(mfn, &[1u8; 700]).unwrap();
+        assert_eq!(m.pending_rehash(), 1);
+        m.exclusive_mfn(b, Pfn(0)).unwrap();
+        assert_eq!(m.pending_rehash(), 2, "the private copy is stale too");
+        m.check_consistency().unwrap();
+        m.materialize_hashes();
+        m.check_consistency().unwrap();
+        assert_eq!(m.read(b, Pfn(0)).unwrap(), vec![1u8; 700]);
+    }
+
+    #[test]
+    fn verify_integrity_is_schedule_independent() {
+        let mut lazy = MemoryManager::new(256);
+        let mut eager = MemoryManager::new(256);
+        for m in [&mut lazy, &mut eager] {
+            m.populate(DomId(1), 4).unwrap();
+        }
+        for pfn in 0..4u64 {
+            let body = vec![pfn as u8 + 1; 300];
+            lazy.write(DomId(1), Pfn(pfn), &body).unwrap();
+            eager.write(DomId(1), Pfn(pfn), &body).unwrap();
+            eager.materialize_hashes(); // eager schedule
+        }
+        assert_eq!(lazy.verify_integrity(), eager.verify_integrity());
+        assert_eq!(lazy.pending_rehash(), 0);
+    }
+
+    #[test]
+    fn freeze_and_template_seal_materialize() {
+        let mut m = MemoryManager::new(256);
+        let d = DomId(1);
+        m.populate(d, 2).unwrap();
+        m.write(d, Pfn(0), &[3u8; 400]).unwrap();
+        assert_eq!(m.pending_rehash(), 1);
+        m.freeze(d);
+        assert_eq!(m.pending_rehash(), 0, "snapshot seal drains the queue");
+        m.discard_frozen(d);
+        m.write(d, Pfn(1), &[4u8; 400]).unwrap();
+        assert_eq!(m.pending_rehash(), 1);
+        m.template_arm(d).unwrap();
+        assert_eq!(m.pending_rehash(), 0, "template seal drains the queue");
+        m.check_consistency().unwrap();
     }
 }
 

@@ -15,8 +15,9 @@
 //! property the `logic_restart` integration tests and the
 //! `ablation_xenstore_split` bench exercise.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
+use xoar_hypervisor::fasthash::FastMap;
 use xoar_hypervisor::DomId;
 
 use crate::error::{XsError, XsResult};
@@ -74,11 +75,11 @@ impl Default for Quotas {
 #[derive(Debug)]
 pub struct XenStoreLogic {
     watches: WatchRegistry,
-    txns: HashMap<u32, Txn>,
+    txns: FastMap<u32, Txn>,
     next_txn: u32,
     privileged: BTreeSet<DomId>,
     quotas: Quotas,
-    node_counts: HashMap<DomId, usize>,
+    node_counts: FastMap<DomId, usize>,
     /// Count of requests processed since the last restart.
     requests_this_epoch: u64,
     /// Number of times this Logic has been restarted.
@@ -90,11 +91,11 @@ impl XenStoreLogic {
     pub fn new() -> Self {
         XenStoreLogic {
             watches: WatchRegistry::new(),
-            txns: HashMap::new(),
+            txns: FastMap::default(),
             next_txn: 1,
             privileged: BTreeSet::new(),
             quotas: Quotas::default(),
-            node_counts: HashMap::new(),
+            node_counts: FastMap::default(),
             requests_this_epoch: 0,
             restarts: 0,
         }

@@ -13,8 +13,9 @@
 //! replies (plus asynchronous watch events) flow back. In-flight frames
 //! are bounded per connection, modelling the single shared page.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use xoar_hypervisor::fasthash::FastMap;
 use xoar_hypervisor::DomId;
 
 use crate::proto::{Request, Response, XenStore};
@@ -34,7 +35,7 @@ struct StoreRing {
 /// The ring-transport front of a [`XenStore`].
 #[derive(Debug)]
 pub struct XsRingTransport {
-    rings: HashMap<DomId, StoreRing>,
+    rings: FastMap<DomId, StoreRing>,
     served: u64,
 }
 
@@ -62,7 +63,7 @@ impl XsRingTransport {
     /// Creates an empty transport.
     pub fn new() -> Self {
         XsRingTransport {
-            rings: HashMap::new(),
+            rings: FastMap::default(),
             served: 0,
         }
     }

@@ -24,7 +24,7 @@ fn smp_platform(vcpus: u32) -> (Platform, DomId) {
 /// to bytes: the audit log's hash-chained JSON lines, the analyzer's
 /// model snapshot, the event-delivery counters, and each vcpu's
 /// private-page stamp.
-fn observe(p: &Platform, guest: DomId, vcpus: u32) -> String {
+fn observe(p: &mut Platform, guest: DomId, vcpus: u32) -> String {
     assert_eq!(
         p.audit.verify_chain(),
         Ok(()),
@@ -58,7 +58,7 @@ fn sharded_run_is_runqueue_invariant() {
             let (mut p, g) = smp_platform(vcpus);
             let res = smp::run(&mut p, g, runqueues, rounds);
             assert_eq!(res.ticks, rounds);
-            worlds.push((runqueues, observe(&p, g, vcpus)));
+            worlds.push((runqueues, observe(&mut p, g, vcpus)));
         }
         let (_, baseline) = &worlds[0];
         for (runqueues, obs) in &worlds[1..] {
